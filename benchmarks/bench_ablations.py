@@ -1,0 +1,219 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. Sign-magnitude unipolar uMUL vs bipolar uMUL (Section II-B4b's 2x);
+2. spatial-temporal bitstream reuse vs per-PE duplication (Section III-B);
+3. reduced-resolution vs full-resolution binary accumulation (III-A);
+4. Sobol vs LFSR RNG quality (the paper configures Sobol "as in [69]");
+5. the early-termination accuracy-energy frontier (III-C);
+6. transient-fault tolerance of unary streams vs binary words ([16]).
+"""
+
+import numpy as np
+from conftest import once, paper_vs_measured
+
+from repro.core.early_termination import energy_accuracy_tradeoff
+from repro.eval.report import format_table
+from repro.hw import gates
+from repro.hw.array_cost import array_cost
+from repro.hw.pe_cost import PePosition, pe_cost
+from repro.schemes import ComputeScheme as CS
+from repro.unary.bitstream import Coding
+from repro.unary.correlation import scc_bits
+from repro.unary.multiply import umul_bipolar, umul_unipolar
+from repro.unary.rng import LfsrSequence, SobolSequence
+
+
+def test_ablation_sign_magnitude_vs_bipolar(benchmark, emit):
+    """Unipolar sign-magnitude halves cycles and MUL area vs bipolar."""
+
+    def run():
+        n = 8
+        uni = umul_unipolar(1 << (n - 1), 1 << (n - 1), n - 1)
+        bip = umul_bipolar(1 << n, 1 << n, n)
+        ur = pe_cost(CS.USYSTOLIC_RATE, n, PePosition.LEFTMOST)
+        ug = pe_cost(CS.UGEMM_RATE, n, PePosition.LEFTMOST)
+        return uni.cycles, bip.cycles, ur.mul, ug.mul
+
+    uni_cycles, bip_cycles, ur_mul, ug_mul = once(benchmark, run)
+    emit(
+        paper_vs_measured(
+            "Ablation 1: unipolar sign-magnitude vs bipolar uMUL",
+            [
+                ("cycle ratio", "2.0x", f"{bip_cycles / uni_cycles:.1f}x"),
+                ("MUL area ratio", "~2x (58.2% smaller)", f"{ug_mul / ur_mul:.2f}x"),
+            ],
+        )
+    )
+    assert bip_cycles == 2 * uni_cycles
+    assert ug_mul > 1.5 * ur_mul
+
+
+def test_ablation_bitstream_reuse(benchmark, emit):
+    """Reuse eliminates per-PE RNGs and keeps SCC consistent per row."""
+
+    def run():
+        # Area: actual reuse array vs a hypothetical all-leftmost array.
+        rows, cols, bits = 12, 14, 8
+        real = array_cost(CS.USYSTOLIC_RATE, rows, cols, bits).total_ge
+        left = pe_cost(CS.USYSTOLIC_RATE, bits, PePosition.LEFTMOST)
+        duplicated = rows * cols * left.total
+        # SCC consistency: a PE at column c sees the same (stream, RNG)
+        # pairing delayed by c cycles, so its SCC equals column 0's
+        # (Equations 2-4).  Model the lag explicitly.
+        mag = 7
+        stream = SobolSequence(mag)
+        rng = SobolSequence(mag)
+        length = 1 << mag
+        enable = (stream.values(length) < 80).astype(np.uint8)
+        k = np.concatenate(([0], np.cumsum(enable, dtype=np.int64)[:-1]))
+        wbits = (rng.values(length)[k % length] < 100).astype(np.uint8)
+        sccs = []
+        for lag in range(0, 14):
+            # Column c sees both streams delayed by c cycles (IDFF/RREG):
+            # the pairing — and therefore the SCC — is lag-invariant.
+            sccs.append(scc_bits(np.roll(enable, lag), np.roll(wbits, lag)))
+        return real, duplicated, sccs
+
+    real, duplicated, sccs = once(benchmark, run)
+    emit(
+        paper_vs_measured(
+            "Ablation 2: spatial-temporal reuse vs per-PE duplication",
+            [
+                ("array GE with reuse", "-", f"{real:.0f}"),
+                ("array GE duplicated", "-", f"{duplicated:.0f}"),
+                ("area saving", ">20%", f"{100 * (1 - real / duplicated):.1f}%"),
+                (
+                    "SCC consistent across columns",
+                    "identical",
+                    f"spread {max(sccs) - min(sccs):.3f}",
+                ),
+            ],
+        )
+    )
+    assert real < 0.8 * duplicated
+    assert max(sccs) - min(sccs) < 1e-9
+
+
+def test_ablation_reduced_resolution_acc(benchmark, emit):
+    """The N-bit-smaller OREG saves accumulator area (Section III-A)."""
+
+    def run():
+        bits = 8
+        reduced = gates.adder(bits + 4) + gates.dff(bits + 4) + gates.mux(bits + 4)
+        full = gates.adder(2 * bits + 4) + gates.dff(2 * bits + 4) + gates.mux(
+            2 * bits + 4
+        )
+        return reduced, full
+
+    reduced, full = once(benchmark, run)
+    emit(
+        paper_vs_measured(
+            "Ablation 3: reduced-resolution accumulation",
+            [("ACC datapath saving", ">30%", f"{100 * (1 - reduced / full):.1f}%")],
+        )
+    )
+    assert reduced < 0.7 * full
+
+
+def test_ablation_sobol_vs_lfsr(benchmark, emit):
+    """Sobol's low discrepancy buys multiplication accuracy over an LFSR."""
+
+    def run():
+        bits = 7
+        full = 1 << bits
+        errors = {"sobol": [], "lfsr": []}
+        for name, seq_cls in (("sobol", SobolSequence), ("lfsr", LfsrSequence)):
+            for a in range(8, full, 24):
+                for b in range(8, full, 24):
+                    r = umul_unipolar(
+                        a,
+                        b,
+                        bits,
+                        stream_sequence=seq_cls(bits),
+                        weight_sequence=seq_cls(bits),
+                    )
+                    errors[name].append(abs(r.count - a * b / full))
+        return {k: float(np.mean(v)) for k, v in errors.items()}
+
+    errs = once(benchmark, run)
+    emit(
+        paper_vs_measured(
+            "Ablation 4: Sobol vs LFSR RNG (mean uMUL count error, LSB)",
+            [
+                ("Sobol", "low", f"{errs['sobol']:.2f}"),
+                ("LFSR", "higher", f"{errs['lfsr']:.2f}"),
+            ],
+        )
+    )
+    assert errs["sobol"] < errs["lfsr"]
+
+
+def test_ablation_early_termination_frontier(benchmark, emit):
+    """The accuracy-energy frontier of Section III-C, plus the temporal ban."""
+
+    points = once(benchmark, energy_accuracy_tradeoff, 8, samples=150, seed=0)
+    rows = [
+        [p.ebt, p.mac_cycles, f"{p.rmse:.4f}", f"{100 * p.energy_fraction:.1f}%"]
+        for p in points
+    ]
+    emit(
+        format_table(
+            ["EBT", "MAC cycles", "product RMSE", "energy"],
+            rows,
+            title="Ablation 5: early-termination accuracy-energy frontier (8-bit)",
+        )
+    )
+    # Temporal prefixes are saturated junk: early terminating a
+    # thermometer code collapses small values to zero.
+    r = umul_unipolar(16, 64, 6, coding=Coding.TEMPORAL, cycles=8)
+    emit(
+        paper_vs_measured(
+            "Temporal early termination (II-B3)",
+            [
+                (
+                    "16/64 x 64/64 @ 8 of 64 cycles",
+                    "unsound",
+                    f"estimate {r.output.probability:.2f} vs true 0.25",
+                )
+            ],
+        )
+    )
+    rmses = [p.rmse for p in points]
+    assert all(a >= b for a, b in zip(rmses, rmses[1:]))
+
+
+def test_ablation_fault_tolerance(benchmark, emit):
+    """Unary streams degrade gracefully under transient bit flips.
+
+    Not a headline claim of the paper, but the classic stochastic-
+    computing property [16] behind unary logic's robustness: stream-bit
+    damage is position-independent and bounded by flips/length, where a
+    binary word's damage depends on which bit flips.
+    """
+
+    def run():
+        from repro.unary.bitstream import BitstreamGenerator
+        from repro.unary.faults import binary_fault_error, unary_fault_error
+
+        stream = BitstreamGenerator(7).generate_float(0.5)
+        unary = {
+            k: max(unary_fault_error(stream, k, seed=s) for s in range(5))
+            for k in (1, 4, 16)
+        }
+        binary_worst = max(binary_fault_error(64, bit=b, bits=8) for b in range(8))
+        binary_best = min(binary_fault_error(64, bit=b, bits=8) for b in range(8))
+        return unary, binary_worst, binary_best
+
+    unary, b_worst, b_best = once(benchmark, run)
+    emit(
+        paper_vs_measured(
+            "Ablation 6: transient-fault value error (normalised)",
+            [
+                ("unary, 1 flip / 128 bits", "1/128", f"{unary[1]:.4f}"),
+                ("unary, 16 flips / 128 bits", "<= 16/128", f"{unary[16]:.4f}"),
+                ("binary word, worst bit", "1/2", f"{b_worst:.4f}"),
+                ("binary word, best bit", "1/256", f"{b_best:.4f}"),
+            ],
+        )
+    )
+    assert b_worst > 10 * unary[1]

@@ -1,0 +1,16 @@
+"""The reproduction scorecard: one predicate per checkable paper claim.
+
+This is the capstone bench — it re-derives every headline sentence of the
+paper from the library and prints a PASS/FAIL table.
+"""
+
+from conftest import once
+
+from repro.eval.claims import format_scorecard, run_claims
+
+
+def test_scorecard(benchmark, emit):
+    results = once(benchmark, run_claims, include_slow=True)
+    emit(format_scorecard(results))
+    failed = [r for r in results if not r.passed]
+    assert not failed, f"claims failed: {[r.claim for r in failed]}"

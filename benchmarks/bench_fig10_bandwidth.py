@@ -1,0 +1,74 @@
+"""Figure 10: layerwise SRAM/DRAM bandwidth for 8-bit AlexNet.
+
+Shapes to match: unary designs need order-of-magnitude lower DRAM
+bandwidth; eliminating SRAM pushes binary DRAM bandwidth up sharply while
+uSystolic stays crawling; more MAC cycles always reduce edge bandwidth.
+Section V-B's text numbers are compared explicitly.
+"""
+
+from conftest import once, paper_vs_measured
+
+from repro.eval.bandwidth import format_figure10, run_bandwidth_experiment
+from repro.workloads.presets import CLOUD, EDGE
+
+
+def _both():
+    return {
+        "edge": run_bandwidth_experiment(EDGE),
+        "cloud": run_bandwidth_experiment(CLOUD),
+    }
+
+
+def test_fig10_bandwidth(benchmark, emit):
+    results = once(benchmark, _both)
+    for platform in ("edge", "cloud"):
+        emit(format_figure10(results[platform]))
+
+    edge = {r.design: r for r in results["edge"]}
+    u128 = edge["Unary-128c"]
+    conv_band = (min(u128.dram_gbps[:5]), max(u128.dram_gbps[:5]))
+    fc_band = (min(u128.dram_gbps[5:]), max(u128.dram_gbps[5:]))
+    emit(
+        paper_vs_measured(
+            "Section V-B (edge, GB/s)",
+            [
+                (
+                    "BP max DRAM bw, with SRAM",
+                    "3.03",
+                    f"{edge['Binary Parallel'].max_dram_gbps:.2f}",
+                ),
+                (
+                    "BP max DRAM bw, no SRAM",
+                    "10.49",
+                    f"{edge['Binary Parallel (no SRAM)'].max_dram_gbps:.2f}",
+                ),
+                (
+                    "BS max DRAM bw, with SRAM",
+                    "0.88",
+                    f"{edge['Binary Serial'].max_dram_gbps:.2f}",
+                ),
+                (
+                    "BS max DRAM bw, no SRAM",
+                    "1.83",
+                    f"{edge['Binary Serial (no SRAM)'].max_dram_gbps:.2f}",
+                ),
+                (
+                    "uSystolic conv band (no SRAM)",
+                    "[0.11,0.47]",
+                    f"[{conv_band[0]:.2f},{conv_band[1]:.2f}]",
+                ),
+                (
+                    "uSystolic FC band (no SRAM)",
+                    "[0.46,1.08]",
+                    f"[{fc_band[0]:.2f},{fc_band[1]:.2f}]",
+                ),
+            ],
+        )
+    )
+    # Shape assertions.
+    assert (
+        edge["Binary Parallel (no SRAM)"].max_dram_gbps
+        > edge["Binary Parallel"].max_dram_gbps
+    )
+    assert edge["Unary-128c"].max_dram_gbps < 1.0
+    assert edge["uGEMM-H"].max_dram_gbps < edge["Unary-128c"].max_dram_gbps

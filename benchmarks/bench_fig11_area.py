@@ -1,0 +1,50 @@
+"""Figure 11: systolic array + SRAM area breakdown (8/16-bit, edge/cloud).
+
+Shapes to match: the BP > BS > UG > UR >= UT area ordering, the per-block
+savings (IREG/MUL/ACC) of rate-coded uSystolic, and Section V-C's headline
+reductions including the 91.3% total on-chip saving from SRAM elimination.
+"""
+
+from conftest import once, paper_vs_measured
+
+from repro.eval.area import area_reductions, format_figure11, run_area_experiment
+from repro.workloads.presets import CLOUD, EDGE
+
+
+def _all():
+    return {
+        "edge": (run_area_experiment(EDGE), area_reductions(EDGE)),
+        "cloud": (run_area_experiment(CLOUD), area_reductions(CLOUD)),
+    }
+
+
+def test_fig11_area(benchmark, emit):
+    results = once(benchmark, _all)
+    for platform in ("edge", "cloud"):
+        bars, _ = results[platform]
+        emit(format_figure11(bars, platform))
+
+    edge_red = results["edge"][1]
+    cloud_red = results["cloud"][1]
+    emit(
+        paper_vs_measured(
+            "Section V-C array-area reduction from BP (8-bit, %)",
+            [
+                ("edge BS", "30.9", f"{edge_red['array_BS']:.1f}"),
+                ("edge UG", "50.9", f"{edge_red['array_UG']:.1f}"),
+                ("edge UR", "59.0", f"{edge_red['array_UR']:.1f}"),
+                ("edge UT", "62.5", f"{edge_red['array_UT']:.1f}"),
+                ("cloud BS", "26.2", f"{cloud_red['array_BS']:.1f}"),
+                ("cloud UG", "48.9", f"{cloud_red['array_UG']:.1f}"),
+                ("cloud UR", "63.8", f"{cloud_red['array_UR']:.1f}"),
+                ("cloud UT", "64.7", f"{cloud_red['array_UT']:.1f}"),
+                ("edge UR-noSRAM vs BP+SRAM", "91.3", f"{edge_red['total_vs_bp']:.1f}"),
+                ("edge UR-noSRAM vs BS+SRAM", "90.7", f"{edge_red['total_vs_bs']:.1f}"),
+                ("cloud UR-noSRAM vs BP+SRAM", "74.3", f"{cloud_red['total_vs_bp']:.1f}"),
+                ("cloud UR-noSRAM vs BS+SRAM", "68.4", f"{cloud_red['total_vs_bs']:.1f}"),
+            ],
+        )
+    )
+    # Shape assertions.
+    assert edge_red["array_BS"] < edge_red["array_UG"] < edge_red["array_UR"]
+    assert abs(edge_red["total_vs_bp"] - 91.3) < 5.0

@@ -1,0 +1,62 @@
+"""Figure 12: layerwise throughput for 8-bit AlexNet, edge and cloud.
+
+Shapes to match: edge conv throughput degrades ~linearly with MAC cycles
+(negligible contention); cloud binary parallel is heavily contended while
+unary contention melts as cycles grow; FC throughput penalties for unary
+designs are far below the MAC-cycle ratio.
+"""
+
+from conftest import once, paper_vs_measured
+
+from repro.eval.throughput import (
+    contention_overheads,
+    format_figure12,
+    run_throughput_experiment,
+)
+from repro.workloads.presets import CLOUD, EDGE
+
+
+def _both():
+    return {
+        "edge": run_throughput_experiment(EDGE),
+        "cloud": run_throughput_experiment(CLOUD),
+    }
+
+
+def test_fig12_throughput(benchmark, emit):
+    results = once(benchmark, _both)
+    for platform in ("edge", "cloud"):
+        emit(format_figure12(results[platform]))
+
+    edge_over = contention_overheads(results["edge"])
+    cloud_over = contention_overheads(results["cloud"])
+    emit(
+        paper_vs_measured(
+            "Section V-D mean conv runtime overhead (%)",
+            [
+                ("edge Unary-32c", "2.7", f"{edge_over['Unary-32c']:.1f}"),
+                ("edge Unary-64c", "1.3", f"{edge_over['Unary-64c']:.1f}"),
+                ("edge Unary-128c", "0.7", f"{edge_over['Unary-128c']:.1f}"),
+                ("edge uGEMM-H", "0.3", f"{edge_over['uGEMM-H']:.1f}"),
+                ("cloud Binary Parallel", "161.8", f"{cloud_over['Binary Parallel']:.1f}"),
+                ("cloud Binary Serial", "105.2", f"{cloud_over['Binary Serial']:.1f}"),
+                ("cloud Unary-32c", "47.5", f"{cloud_over['Unary-32c']:.1f}"),
+                ("cloud Unary-64c", "25.7", f"{cloud_over['Unary-64c']:.1f}"),
+                ("cloud Unary-128c", "13.4", f"{cloud_over['Unary-128c']:.1f}"),
+                ("cloud uGEMM-H", "6.9", f"{cloud_over['uGEMM-H']:.1f}"),
+            ],
+        )
+    )
+
+    # Edge: near-linear throughput degradation with MAC cycles on convs.
+    edge = {r.design: r for r in results["edge"]}
+    conv1 = lambda d: edge[d].throughput_gops[0]
+    ratio = conv1("Unary-32c") / conv1("Unary-128c")
+    emit(
+        paper_vs_measured(
+            "Figure 12a linearity (conv1 throughput ratio 32c:128c)",
+            [("expected ~129/33=3.9", "3.9", f"{ratio:.2f}")],
+        )
+    )
+    assert 3.0 < ratio < 4.5
+    assert cloud_over["Binary Parallel"] > cloud_over["Unary-32c"] >= cloud_over["Unary-128c"]

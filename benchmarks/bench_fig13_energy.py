@@ -1,0 +1,85 @@
+"""Figure 13: layerwise on-chip and total energy for 8-bit AlexNet.
+
+Shapes to match (Section V-E/F): SRAM leakage dominates binary on-chip
+energy; uSystolic cuts on-chip energy (mean ~83.5% edge) and power (mean
+~98.4% edge); total energy is DRAM-dominated with negative gains on
+convolutions; uGEMM-H costs ~2x uSystolic; EDP gains are far weaker than
+energy gains.
+"""
+
+from conftest import once, paper_vs_measured
+
+from repro.eval.energy import (
+    edp_improvements,
+    energy_reductions,
+    format_figure13,
+    power_reductions,
+    run_energy_experiment,
+)
+from repro.workloads.presets import CLOUD, EDGE
+
+
+def _both():
+    return {
+        "edge": run_energy_experiment(EDGE),
+        "cloud": run_energy_experiment(CLOUD),
+    }
+
+
+def _fmt(stats):
+    return f"[{stats['min']:.1f},{stats['max']:.1f}] mean {stats['mean']:.1f}"
+
+
+def test_fig13_energy(benchmark, emit):
+    results = once(benchmark, _both)
+    for platform in ("edge", "cloud"):
+        emit(format_figure13(results[platform]))
+
+    edge, cloud = results["edge"], results["cloud"]
+    e_edge = energy_reductions(edge)
+    e_cloud = energy_reductions(cloud)
+    t_edge = energy_reductions(edge, total=True)
+    p_edge = power_reductions(edge)
+    p_cloud = power_reductions(cloud)
+    edp_edge = edp_improvements(edge)
+
+    def agg(table, baseline):
+        rows = [table[baseline][c] for c in ("Unary-32c", "Unary-64c", "Unary-128c")]
+        return {
+            "min": min(r["min"] for r in rows),
+            "max": max(r["max"] for r in rows),
+            "mean": sum(r["mean"] for r in rows) / len(rows),
+        }
+
+    emit(
+        paper_vs_measured(
+            "Section V-E/F reductions over binary designs (%)",
+            [
+                ("edge on-chip E vs BP", "[50.0,99.1] mean 83.5", _fmt(agg(e_edge, "Binary Parallel"))),
+                ("edge on-chip E vs BS", "[78.3,99.1] mean 90.5", _fmt(agg(e_edge, "Binary Serial"))),
+                ("cloud on-chip E vs BP", "[-330.3,98.9] mean 47.6", _fmt(agg(e_cloud, "Binary Parallel"))),
+                ("edge total E vs BP", "[-2474.7,-11.8] mean -754.0", _fmt(agg(t_edge, "Binary Parallel"))),
+                ("edge on-chip P vs BP", "[97.6,99.5] mean 98.4", _fmt(agg(p_edge, "Binary Parallel"))),
+                ("cloud on-chip P vs BP", "[49.0,83.4] mean 66.4", _fmt(agg(p_cloud, "Binary Parallel"))),
+                ("edge on-chip EDP vs BP", "[-4611.4,99.7] mean -487.8", _fmt(agg(edp_edge, "Binary Parallel"))),
+            ],
+        )
+    )
+
+    # Shape assertions.
+    bp = next(r for r in edge if r.design == "Binary Parallel")
+    sram_leak = sum(l.energy.sram_leakage for l in bp.layers)
+    on_chip = sum(l.energy.on_chip for l in bp.layers)
+    assert sram_leak > 0.5 * on_chip  # SRAM leakage dominates binary
+    assert agg(e_edge, "Binary Parallel")["mean"] > 50.0
+    assert agg(p_edge, "Binary Parallel")["mean"] > 90.0
+    assert agg(t_edge, "Binary Parallel")["min"] < 0.0  # negative total gains
+    # uGEMM-H costs more than 128c uSystolic everywhere.
+    ug = next(r for r in edge if r.design == "uGEMM-H")
+    u128 = next(r for r in edge if r.design == "Unary-128c")
+    assert sum(ug.on_chip_j) > 1.5 * sum(u128.on_chip_j)
+    # EDP gains weaker than energy gains.
+    assert (
+        agg(edp_edge, "Binary Parallel")["mean"]
+        < agg(e_edge, "Binary Parallel")["mean"]
+    )

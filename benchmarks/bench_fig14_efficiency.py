@@ -1,0 +1,63 @@
+"""Figure 14: on-chip energy/power efficiency improvements + headline.
+
+Regenerates all four panels (AlexNet/MLPerf x edge/cloud) and the
+abstract's headline numbers.  Shapes to match: early termination always
+raises efficiency over binary; MLPerf panels sit below AlexNet panels
+(utilization dilution: 97.1% -> 69.6% edge, 81.6% -> 37.2% cloud);
+uGEMM-H trails every uSystolic configuration.
+"""
+
+from conftest import once, paper_vs_measured
+
+from repro.eval.efficiency import (
+    format_figure14,
+    headline,
+    mean_utilization,
+    run_efficiency_experiment,
+)
+from repro.workloads.presets import CLOUD, EDGE
+
+
+def _all_panels():
+    return [
+        run_efficiency_experiment(EDGE, "alexnet"),
+        run_efficiency_experiment(CLOUD, "alexnet"),
+        run_efficiency_experiment(EDGE, "mlperf"),
+        run_efficiency_experiment(CLOUD, "mlperf"),
+    ]
+
+
+def test_fig14_efficiency(benchmark, emit):
+    panels = once(benchmark, _all_panels)
+    emit(format_figure14(panels))
+
+    edge_alex, cloud_alex, edge_mlperf, cloud_mlperf = panels
+    head = headline(EDGE)
+    emit(
+        paper_vs_measured(
+            "Headline (abstract) + Section V-G utilization",
+            [
+                ("edge E.E. up to (x)", "112.2", f"{head['energy_efficiency_up_to']:.1f}"),
+                ("edge P.E. up to (x)", "44.8", f"{head['power_efficiency_up_to']:.1f}"),
+                ("array area reduction %", "59.0", f"{head['array_area_reduction_pct']:.1f}"),
+                ("total area reduction %", "91.3", f"{head['total_area_reduction_pct']:.1f}"),
+                ("util edge AlexNet %", "97.1", f"{100 * mean_utilization(EDGE, 'alexnet'):.1f}"),
+                ("util edge MLPerf %", "69.6", f"{100 * mean_utilization(EDGE, 'mlperf'):.1f}"),
+                ("util cloud AlexNet %", "81.6", f"{100 * mean_utilization(CLOUD, 'alexnet'):.1f}"),
+                ("util cloud MLPerf %", "37.2", f"{100 * mean_utilization(CLOUD, 'mlperf'):.1f}"),
+            ],
+        )
+    )
+
+    # Shape assertions.
+    for panel in panels:
+        eei = panel.eei["Binary Parallel"]
+        assert eei["Unary-32c"] > eei["Unary-64c"] > eei["Unary-128c"] > eei["uGEMM-H"]
+    # MLPerf dilutes efficiency relative to AlexNet on the same platform.
+    assert (
+        edge_mlperf.eei["Binary Parallel"]["Unary-32c"]
+        < edge_alex.eei["Binary Parallel"]["Unary-32c"]
+    )
+    assert mean_utilization(EDGE, "mlperf") < mean_utilization(EDGE, "alexnet")
+    assert head["energy_efficiency_up_to"] > 30.0
+    assert head["power_efficiency_up_to"] > 30.0

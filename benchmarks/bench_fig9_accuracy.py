@@ -1,0 +1,63 @@
+"""Figure 9: top-1 accuracy vs effective bitwidth for three CNNs.
+
+Regenerates all three panels on the synthetic stand-in tasks (see
+DESIGN.md substitution #3) and the Section V-A GEMM error ranking.  The
+shapes to match the paper: accuracy saturates by EBT ~9-10, the easy task
+barely drops, harder tasks degrade below EBT 8, and uSystolic sits between
+FXP-o-res and FXP-i-res.
+"""
+
+from conftest import once, paper_vs_measured
+
+from repro.eval.accuracy import (
+    format_figure9,
+    gemm_error_ranking,
+    run_accuracy_experiment,
+)
+
+EBTS = list(range(6, 13))
+
+
+def test_fig9_accuracy(benchmark, emit):
+    results = once(
+        benchmark,
+        run_accuracy_experiment,
+        ebts=EBTS,
+        train_samples=500,
+        test_samples=150,
+    )
+    emit(format_figure9(results, EBTS))
+
+    easy, medium, hard = results
+    errors = gemm_error_ranking(ebt=8, trials=5)
+    emit(
+        paper_vs_measured(
+            "Figure 9 shape checks",
+            [
+                (
+                    "easy: uSystolic@6 ~ FP32 (barely any drop)",
+                    "yes",
+                    f"{easy.sweep['usystolic'][6]:.2f} vs {easy.fp32_accuracy:.2f}",
+                ),
+                (
+                    "hard: uSystolic@10 ~ FP32 (saturated)",
+                    "yes",
+                    f"{hard.sweep['usystolic'][10]:.2f} vs {hard.fp32_accuracy:.2f}",
+                ),
+                (
+                    "hard: o-res@8 < uSystolic@8",
+                    "yes",
+                    f"{hard.sweep['fxp-o-res'][8]:.2f} < {hard.sweep['usystolic'][8]:.2f}",
+                ),
+                (
+                    "GEMM error: o-res > uSys > i-res",
+                    "yes",
+                    " > ".join(f"{errors[k]:.3f}" for k in ("fxp-o-res", "usystolic", "fxp-i-res")),
+                ),
+            ],
+        )
+    )
+    # Shape assertions.
+    assert easy.sweep["usystolic"][6] >= easy.fp32_accuracy - 0.15
+    assert hard.sweep["usystolic"][10] >= hard.fp32_accuracy - 0.10
+    assert errors["fxp-o-res"] > errors["usystolic"] > errors["fxp-i-res"]

@@ -1,0 +1,120 @@
+"""Section V-G's closing observation: the SRAM-sizing design space.
+
+"There indeed exists a continuous design space where a small-sized on-chip
+SRAM can reduce the off-chip DRAM access cost."  This bench walks that
+space for rate-coded uSystolic on the edge and shows the trade: DRAM
+traffic/energy falls as the buffer grows, on-chip leakage rises, and the
+total-energy optimum sits between the extremes.  An array-geometry sweep
+covers the orthogonal axis the paper fixes to the Eyeriss shape.
+"""
+
+from conftest import once, paper_vs_measured
+
+from repro.eval.report import format_table
+from repro.eval.sweeps import array_shape_sweep, format_sram_sweep, sram_sizing_sweep
+from repro.schemes import ComputeScheme as CS
+from repro.workloads.alexnet import alexnet_layers
+from repro.workloads.presets import EDGE
+
+
+def test_sram_sizing_design_space(benchmark, emit):
+    def run():
+        array = EDGE.array(CS.USYSTOLIC_RATE, ebt=6)
+        return sram_sizing_sweep(alexnet_layers(), array, EDGE.memory)
+
+    points = once(benchmark, run)
+    emit(format_sram_sweep(points, "SRAM sizing sweep (edge, Unary-32c, AlexNet)"))
+
+    no_sram = points[0]
+    biggest = points[-1]
+    best = min(points, key=lambda p: p.total_energy_j)
+    emit(
+        paper_vs_measured(
+            "Section V-G design-space claims",
+            [
+                (
+                    "SRAM reduces DRAM traffic",
+                    "yes",
+                    f"{no_sram.dram_bytes / 2**20:.1f} -> {biggest.dram_bytes / 2**20:.1f} MB",
+                ),
+                (
+                    "... at an on-chip cost",
+                    "yes",
+                    f"{no_sram.on_chip_energy_j * 1e3:.2f} -> "
+                    f"{biggest.on_chip_energy_j * 1e3:.2f} mJ",
+                ),
+                (
+                    "total-energy optimum",
+                    "interior or boundary",
+                    f"{best.sram_bytes_per_variable // 1024} KB/var",
+                ),
+            ],
+        )
+    )
+    assert biggest.dram_bytes < no_sram.dram_bytes
+    assert biggest.on_chip_energy_j > no_sram.on_chip_energy_j
+
+
+def test_array_geometry_sweep(benchmark, emit):
+    def run():
+        return array_shape_sweep(
+            alexnet_layers(),
+            CS.USYSTOLIC_RATE,
+            EDGE.memory.without_sram(),
+            ebt=6,
+        )
+
+    points = once(benchmark, run)
+    rows = [
+        [
+            f"{p.rows}x{p.cols}",
+            f"{p.runtime_s * 1e3:.1f}",
+            f"{100 * p.utilization:.1f}%",
+            f"{p.on_chip_energy_j * 1e3:.3f}",
+        ]
+        for p in points
+    ]
+    emit(
+        format_table(
+            ["shape", "runtime ms", "mean util", "on-chip mJ"],
+            rows,
+            title="Array geometry sweep at ~168 PEs (edge, Unary-32c, AlexNet)",
+        )
+    )
+    assert len({(p.rows, p.cols) for p in points}) == len(points)
+
+
+def test_accuracy_energy_pareto(benchmark, emit):
+    """The full (scheme x EBT) design space with its Pareto frontier.
+
+    Substantiates two claims at once: early termination traces the
+    frontier (Section III-C), and uGEMM-H is dominated at every point
+    (Section II-B4b: same resolution, double the cycles).
+    """
+
+    def run():
+        from repro.eval.pareto import design_space, pareto_frontier
+        from repro.nn.datasets import make_dataset
+        from repro.nn.models import mnist4
+        from repro.nn.training import train
+
+        ds = make_dataset("easy", train=300, test=100)
+        model = mnist4(ds.image_shape, ds.num_classes)
+        train(model, ds, epochs=5, seed=1)
+        space = design_space(
+            model,
+            ds.x_test,
+            ds.y_test,
+            alexnet_layers()[:3],
+            EDGE.rows,
+            EDGE.cols,
+            EDGE.memory.without_sram(),
+        )
+        return space, pareto_frontier(space)
+
+    space, frontier = once(benchmark, run)
+    from repro.eval.pareto import format_pareto
+    from repro.schemes import ComputeScheme
+
+    emit(format_pareto(space, frontier))
+    assert all(p.scheme is ComputeScheme.USYSTOLIC_RATE for p in frontier)

@@ -1,0 +1,139 @@
+"""Section V-H system-level discussion, made quantitative.
+
+Two claims get numbers here:
+
+1. "If the power supply ... is running out, early termination improves
+   energy and power efficiency to prolong the system lifespan" — an
+   adaptive-EBT controller vs fixed-quality service from one battery.
+2. "When considering multiple tiled uSystolic instances ... uSystolic's
+   low bandwidth empowers better scalability" — throughput scaling of
+   unary vs binary tiles behind one shared memory channel.
+
+Plus footnote 2's FSU exclusion argument: the flip-flop storage a fully
+streaming design would need for AlexNet.
+"""
+
+from conftest import once, paper_vs_measured
+
+from repro.eval.report import format_table
+from repro.fsu import fsu_weight_storage
+from repro.schemes import ComputeScheme as CS
+from repro.system import (
+    AdaptiveEbtController,
+    Battery,
+    scaling_curve,
+    simulate_inference_stream,
+)
+from repro.workloads.alexnet import alexnet_layers
+from repro.workloads.presets import EDGE
+
+LAYERS = alexnet_layers()[2:5]
+
+
+def test_battery_lifespan(benchmark, emit):
+    def run():
+        memory = EDGE.memory.without_sram()
+        outcomes = {}
+        for label, kwargs in [
+            ("fixed EBT 8", dict(fixed_ebt=8)),
+            ("fixed EBT 6", dict(fixed_ebt=6)),
+            ("adaptive 8->7->6", dict(controller=AdaptiveEbtController())),
+        ]:
+            outcomes[label] = simulate_inference_stream(
+                LAYERS,
+                Battery(capacity_j=5e-3),
+                memory,
+                EDGE.rows,
+                EDGE.cols,
+                **kwargs,
+            )
+        return outcomes
+
+    outcomes = once(benchmark, run)
+    rows = [
+        [label, o.jobs_completed, f"{o.mean_ebt:.2f}", f"{o.total_runtime_s:.2f}"]
+        for label, o in outcomes.items()
+    ]
+    emit(
+        format_table(
+            ["policy", "inferences served", "mean EBT", "runtime s"],
+            rows,
+            title="V-H: one battery, three service policies (AlexNet conv3-5)",
+        )
+    )
+    adaptive = outcomes["adaptive 8->7->6"]
+    full = outcomes["fixed EBT 8"]
+    emit(
+        paper_vs_measured(
+            "Early termination prolongs lifespan",
+            [
+                (
+                    "jobs served, adaptive vs full quality",
+                    ">1x",
+                    f"{adaptive.jobs_completed / full.jobs_completed:.2f}x",
+                )
+            ],
+        )
+    )
+    assert adaptive.jobs_completed > full.jobs_completed
+
+
+def test_tiled_scaling(benchmark, emit):
+    def run():
+        counts = (1, 2, 4, 8, 16)
+        memory = EDGE.memory.without_sram()
+        return {
+            "Binary Parallel": scaling_curve(
+                EDGE, EDGE.array(CS.BINARY_PARALLEL), memory, LAYERS * 8,
+                instance_counts=counts,
+            ),
+            "Unary-32c": scaling_curve(
+                EDGE, EDGE.array(CS.USYSTOLIC_RATE, ebt=6), memory, LAYERS * 8,
+                instance_counts=counts,
+            ),
+        }
+
+    curves = once(benchmark, run)
+    headers = ["design"] + [f"{p.instances} inst" for p in curves["Unary-32c"]]
+    rows = []
+    for name, points in curves.items():
+        base = points[0].throughput_gops
+        rows.append([name] + [f"{p.throughput_gops / base:.2f}x" for p in points])
+    emit(
+        format_table(
+            headers,
+            rows,
+            title="V-H: tiled-instance throughput scaling (shared DRAM channel)",
+        )
+    )
+    bp16 = curves["Binary Parallel"][-1].throughput_gops / curves[
+        "Binary Parallel"
+    ][0].throughput_gops
+    ur16 = curves["Unary-32c"][-1].throughput_gops / curves["Unary-32c"][
+        0
+    ].throughput_gops
+    emit(
+        paper_vs_measured(
+            "Low bandwidth empowers scalability (speedup at 16 instances)",
+            [
+                ("Binary Parallel", "saturates", f"{bp16:.1f}x"),
+                ("Unary-32c", "near-linear", f"{ur16:.1f}x"),
+            ],
+        )
+    )
+    assert ur16 > bp16
+
+
+def test_fsu_storage_exclusion(benchmark, emit):
+    report = once(benchmark, fsu_weight_storage, alexnet_layers(), 8)
+    emit(
+        paper_vs_measured(
+            "Footnote 2: FSU weight storage for AlexNet",
+            [
+                ("flip-flop storage", "61.1 MB", f"{report.storage_mb:.1f} MiB"),
+                ("vs cloud TPU SRAM", "> 24 MB", f"{report.storage_mb:.1f} MiB"),
+                ("DFF area", "impractical", f"{report.dff_area_mm2:.0f} mm^2"),
+            ],
+        )
+    )
+    assert report.storage_bytes > 24 * 2**20

@@ -1,0 +1,37 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints (a) the figure-shaped data table and (b) a ``paper vs measured``
+comparison block.  Output goes through ``emit`` so it reaches the terminal
+even under pytest's capture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print through pytest's output capture."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _emit
+
+
+def paper_vs_measured(title: str, rows: list[tuple[str, str, str]]) -> str:
+    """Render a paper-value vs measured-value comparison block."""
+    width = max(len(r[0]) for r in rows)
+    lines = [f"== {title}: paper vs measured =="]
+    for name, paper, measured in rows:
+        lines.append(f"  {name.ljust(width)}  paper: {paper:>12}  measured: {measured:>12}")
+    return "\n".join(lines)
+
+
+def once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

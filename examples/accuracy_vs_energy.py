@@ -1,0 +1,69 @@
+"""Early termination: trading accuracy for energy on a live CNN.
+
+Trains the hard-task CNN (the AlexNet/ImageNet stand-in), then walks the
+early-termination knob: for each effective bitwidth, report the top-1
+accuracy, the MAC cycle count, and the measured on-chip energy of running
+the network's GEMMs on the edge platform — the dynamic accuracy-energy
+scaling of Sections III-C and V-E.
+
+Run:  python examples/accuracy_vs_energy.py
+"""
+
+from repro.eval.report import format_table
+from repro.nn.datasets import make_dataset
+from repro.nn.inference import evaluate
+from repro.nn.models import alexnet_mini
+from repro.nn.quant import QuantMode, QuantSpec
+from repro.nn.training import train
+from repro.schemes import ComputeScheme
+from repro.sim.engine import simulate_layer
+from repro.unary.mac import mac_cycles
+from repro.workloads.alexnet import alexnet_layers
+from repro.workloads.presets import EDGE
+
+
+def main() -> None:
+    print("Training the ImageNet/AlexNet stand-in (hard synthetic task)...")
+    ds = make_dataset("hard", train=600, test=150)
+    model = alexnet_mini(ds.image_shape, ds.num_classes)
+    outcome = train(model, ds, epochs=15, lr=0.05)
+    print(f"FP32 test accuracy: {100 * outcome.test_accuracy:.1f}%\n")
+
+    layers = alexnet_layers()
+    rows = []
+    for ebt in (4, 5, 6, 7, 8):
+        accuracy = evaluate(
+            model, ds.x_test, ds.y_test, QuantSpec(QuantMode.USYSTOLIC, ebt)
+        )
+        array = EDGE.array(ComputeScheme.USYSTOLIC_RATE, ebt=ebt)
+        energy = sum(
+            simulate_layer(l, array, EDGE.memory.without_sram()).energy.on_chip
+            for l in layers
+        )
+        rows.append(
+            [
+                ebt,
+                mac_cycles(ebt),
+                f"{100 * accuracy:.1f}%",
+                f"{energy * 1e3:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["EBT", "MAC cycles", "top-1 accuracy", "AlexNet on-chip energy (mJ)"],
+            rows,
+            title="Early-termination frontier (edge platform, rate coding)",
+        )
+    )
+    print(
+        "\nHalving the stream halves energy; accuracy holds until the "
+        "effective bitwidth crosses the task's precision floor (~EBT 6-7)."
+    )
+    print(
+        "Temporal coding forbids this knob entirely: a thermometer-code "
+        "prefix saturates (Section II-B3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Battery-aware inference service: the Section V-H trade-off, live.
+
+An edge device runs AlexNet-style inference off a small battery.  Three
+service policies compete: always full quality (EBT 8), always low power
+(EBT 6), and the adaptive controller that steps the effective bitwidth
+down as the charge falls.  Because uSystolic's ISA carries the MAC cycle
+count per instruction, the adaptation is a pure software decision.
+
+Run:  python examples/battery_aware_edge.py
+"""
+
+from repro.eval.report import format_table
+from repro.system import (
+    AdaptiveEbtController,
+    Battery,
+    simulate_inference_stream,
+)
+from repro.workloads.alexnet import alexnet_layers
+from repro.workloads.presets import EDGE
+
+
+def main() -> None:
+    layers = alexnet_layers()[2:5]  # the conv3-5 block as the job body
+    memory = EDGE.memory.without_sram()
+    capacity = 5e-3  # joules: a deliberately tiny reserve
+
+    policies = [
+        ("always EBT 8 (full quality)", dict(fixed_ebt=8)),
+        ("always EBT 6 (power saver)", dict(fixed_ebt=6)),
+        ("adaptive 8 -> 7 -> 6", dict(controller=AdaptiveEbtController())),
+    ]
+    rows = []
+    histories = {}
+    for label, kwargs in policies:
+        outcome = simulate_inference_stream(
+            layers,
+            Battery(capacity_j=capacity),
+            memory,
+            EDGE.rows,
+            EDGE.cols,
+            **kwargs,
+        )
+        histories[label] = outcome.ebt_history
+        rows.append(
+            [
+                label,
+                outcome.jobs_completed,
+                f"{outcome.mean_ebt:.2f}",
+                f"{outcome.total_runtime_s:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["policy", "inferences served", "mean quality (EBT)", "lifetime s"],
+            rows,
+            title=f"One {capacity * 1e3:.0f} mJ battery, three policies",
+        )
+    )
+
+    history = histories["adaptive 8 -> 7 -> 6"]
+    transitions = [
+        (i, a, b) for i, (a, b) in enumerate(zip(history, history[1:])) if a != b
+    ]
+    print("\nAdaptive policy quality schedule:")
+    print(f"  starts at EBT {history[0]}")
+    for i, a, b in transitions:
+        print(f"  after job {i + 1}: EBT {a} -> {b}")
+    print(f"  ends at EBT {history[-1]} when the battery dies")
+    print(
+        "\nThe adaptive controller serves more jobs than full quality while "
+        "holding a higher mean quality than the power saver — the dynamic "
+        "accuracy-energy trade-off of Section V-H."
+    )
+
+
+if __name__ == "__main__":
+    main()

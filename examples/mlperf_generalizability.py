@@ -1,0 +1,70 @@
+"""Generalizability across the MLPerf suite (the Table I claim).
+
+One uSystolic instance, unchanged, executes all eight MLPerf models — CNNs,
+an MLP recommender, an unrolled LSTM and a transformer — because it keeps
+the legacy-binary data scheduling.  For each model this example reports
+shape statistics, MAC utilization, and the on-chip energy-efficiency
+improvement over the binary-parallel baseline on both platforms.
+
+Run:  python examples/mlperf_generalizability.py
+"""
+
+from repro.eval.report import format_table
+from repro.gemm.params import GemmType
+from repro.gemm.tiling import tile_gemm
+from repro.schemes import ComputeScheme
+from repro.sim.engine import simulate_network
+from repro.workloads.mlperf import mlperf_suite
+from repro.workloads.presets import CLOUD, EDGE
+
+
+def model_row(name, layers, platform):
+    convs = sum(1 for l in layers if l.gemm_type is GemmType.CONVOLUTION)
+    utils = [tile_gemm(l, platform.rows, platform.cols).utilization for l in layers]
+    util = sum(utils) / len(utils)
+
+    ur = simulate_network(
+        layers,
+        platform.array(ComputeScheme.USYSTOLIC_RATE, ebt=6),
+        platform.memory.without_sram(),
+    )
+    bp = simulate_network(
+        layers, platform.array(ComputeScheme.BINARY_PARALLEL), platform.memory
+    )
+    eei = [
+        u.energy_efficiency() / b.energy_efficiency()
+        for u, b in zip(ur, bp)
+        if b.energy_efficiency() > 0
+    ]
+    return [
+        name,
+        len(layers),
+        f"{convs}/{len(layers) - convs}",
+        f"{100 * util:.1f}%",
+        f"{sum(eei) / len(eei):.1f}x",
+    ]
+
+
+def main() -> None:
+    suite = mlperf_suite()
+    for platform in (EDGE, CLOUD):
+        rows = [
+            model_row(name, layers, platform) for name, layers in suite.items()
+        ]
+        print(
+            format_table(
+                ["model", "GEMMs", "conv/matmul", "mean util", "E.E.I. (32c vs BP)"],
+                rows,
+                title=f"MLPerf suite on {platform.name} "
+                f"({platform.rows}x{platform.cols} array)",
+            )
+        )
+        print()
+    print(
+        "The same array digests every configuration — no per-model hardware, \n"
+        "no dataflow changes — which is precisely what FSU designs cannot do."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro: a reproduction of "uSystolic: Byte-Crawling Unary Systolic Array".
+
+Wu & San Miguel, HPCA 2022.  The package implements the paper's hybrid
+unary-binary systolic array and every substrate its evaluation depends on:
+a bit-true unary computing kernel, a weight-stationary cycle/traffic
+simulator, gate-level and CACTI-style hardware cost models, a numpy DNN
+inference stack, and the workload suites — see DESIGN.md for the full
+system inventory and per-experiment index.
+
+Quick start::
+
+    from repro import ArrayConfig, ComputeScheme, UsystolicArray
+
+    config = ArrayConfig(rows=12, cols=14, scheme=ComputeScheme.USYSTOLIC_RATE,
+                         bits=8, ebt=6)
+    array = UsystolicArray(config)  # functional, bit-true
+"""
+
+from .core.array import UsystolicArray
+from .core.config import ArrayConfig
+from .memory.hierarchy import MemoryConfig
+from .schemes import ComputeScheme, scheme_mac_cycles
+from .sim.engine import simulate_layer, simulate_network
+from .workloads.presets import CLOUD, EDGE, Platform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "UsystolicArray",
+    "ArrayConfig",
+    "MemoryConfig",
+    "ComputeScheme",
+    "scheme_mac_cycles",
+    "simulate_layer",
+    "simulate_network",
+    "CLOUD",
+    "EDGE",
+    "Platform",
+    "__version__",
+]

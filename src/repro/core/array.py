@@ -1,0 +1,123 @@
+"""Functional uSystolic array: execute whole GEMMs under any compute scheme.
+
+The array follows the Figure 7 organisation: weights are preloaded
+stationary (tile by tile, per the fold schedule), IFM vectors stream in
+from the left, every PE multiplies with its scheme's kernel, and partial
+sums accumulate *exactly in the binary domain* up the columns and across
+reduction folds — the HUB accuracy guarantee.
+
+Functionally, spatial-temporal reuse means all PEs in a row share one IFM
+bitstream and one weight RNG sequence (the per-column one-cycle lag of
+Figure 7 shifts timing, not bit pairing — Equations 2-4), so uSystolic rows
+are computed with the vectorised kernel and are bit-identical to the
+leftmost PE's arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gemm.im2col import im2col
+from ..gemm.params import GemmParams
+from ..gemm.tiling import tile_gemm
+from ..schemes import ComputeScheme
+from ..unary.bitstream import Coding
+from ..unary.vectorized import hub_mac_row
+from .config import ArrayConfig
+from .pe import make_pe
+
+__all__ = ["UsystolicArray"]
+
+
+class UsystolicArray:
+    """A functional weight-stationary systolic array.
+
+    ``execute`` runs one GEMM on integer operands and returns the OFM at
+    the exact-integer-product scale, so ``execute(...)`` of a binary config
+    equals the exact GEMM and unary configs expose their quantisation
+    error directly.
+    """
+
+    def __init__(self, config: ArrayConfig) -> None:
+        self.config = config
+        self._pe = make_pe(config.scheme, config.bits, config.ebt)
+
+    @property
+    def mac_cycles(self) -> int:
+        return self._pe.mac_cycles
+
+    def execute(
+        self, params: GemmParams, weight: np.ndarray, ifm: np.ndarray
+    ) -> np.ndarray:
+        """Run Algorithm 1 on the array; operands are N-bit signed ints.
+
+        ``weight`` has shape (OC, WH, WW, IC), ``ifm`` (IH, IW, IC); the
+        result has shape (OH, OW, OC) in float64 at integer product scale.
+        """
+        weight = self._check_operand(weight, (params.oc, params.wh, params.ww, params.ic))
+        ifm = self._check_operand(ifm, (params.ih, params.iw, params.ic))
+        cols_mat = im2col(params, ifm)  # (V, K)
+        wmat = weight.reshape(params.oc, params.window).T  # (K, OC)
+        out = self._execute_matrix(params, wmat, cols_mat)
+        return out.reshape(params.oh, params.ow, params.oc)
+
+    def _execute_matrix(
+        self, params: GemmParams, wmat: np.ndarray, cols_mat: np.ndarray
+    ) -> np.ndarray:
+        scheme = self.config.scheme
+        if scheme in (ComputeScheme.BINARY_PARALLEL, ComputeScheme.BINARY_SERIAL):
+            # Binary PEs are exact; fold order cannot change the result.
+            return cols_mat.astype(np.float64) @ wmat.astype(np.float64)
+        v = cols_mat.shape[0]
+        out = np.zeros((v, wmat.shape[1]), dtype=np.float64)
+        tiling = tile_gemm(params, self.config.rows, self.config.cols)
+        for tile in tiling:
+            rows = slice(tile.k_start, tile.k_start + tile.rows)
+            cols = slice(tile.c_start, tile.c_start + tile.cols)
+            w_tile = wmat[rows, cols]
+            x_tile = cols_mat[:, rows]
+            out[:, cols] += self._unary_tile(w_tile, x_tile)
+        return out
+
+    def _unary_tile(self, w_tile: np.ndarray, x_tile: np.ndarray) -> np.ndarray:
+        """Partial sums of one fold: rows share streams, columns reuse them."""
+        v, k = x_tile.shape
+        out = np.zeros((v, w_tile.shape[1]), dtype=np.float64)
+        if self.config.scheme in (
+            ComputeScheme.USYSTOLIC_RATE,
+            ComputeScheme.USYSTOLIC_TEMPORAL,
+        ):
+            coding = (
+                Coding.RATE
+                if self.config.scheme is ComputeScheme.USYSTOLIC_RATE
+                else Coding.TEMPORAL
+            )
+            for vec in range(v):
+                for r in range(k):
+                    out[vec] += hub_mac_row(
+                        int(x_tile[vec, r]),
+                        w_tile[r],
+                        self.config.bits,
+                        ebt=self.config.ebt,
+                        coding=coding,
+                    )
+        else:
+            for vec in range(v):
+                for r in range(k):
+                    x = int(x_tile[vec, r])
+                    for c in range(w_tile.shape[1]):
+                        out[vec, c] += self._pe.multiply(int(w_tile[r, c]), x)
+        return out
+
+    def _check_operand(self, arr: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+        arr = np.asarray(arr)
+        if arr.shape != shape:
+            raise ValueError(f"operand shape {arr.shape} != expected {shape}")
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise ValueError("operands must be integer (FXP) arrays")
+        limit = 1 << (self.config.bits - 1)
+        if np.abs(arr).max(initial=0) >= limit:
+            raise ValueError(
+                f"operands exceed the {self.config.bits}-bit sign-magnitude range"
+            )
+        return arr.astype(np.int64)

@@ -1,0 +1,64 @@
+"""Systolic-array configuration (Section IV-C2).
+
+An :class:`ArrayConfig` pins down everything Figure 8's "systolic array
+configuration" box feeds to the widgets: shape, compute scheme, data
+bitwidth, effective bitwidth (the early-termination knob) and the implied
+PE MAC cycle count.  The dataflow is always weight stationary, applied
+uniformly to every scheme as the paper does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..schemes import ComputeScheme, scheme_mac_cycles
+
+__all__ = ["ArrayConfig"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrayConfig:
+    """One systolic array: shape, scheme, bitwidths.
+
+    ``ebt`` is the effective bitwidth n of Section III-C; ``None`` means no
+    early termination (n = N).  ``mac_cycles`` is derived: the scheme's
+    multiplication cycles plus one accumulation cycle.
+    """
+
+    rows: int
+    cols: int
+    scheme: ComputeScheme
+    bits: int = 8
+    ebt: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError(
+                f"array shape must be positive, got {self.rows}x{self.cols}"
+            )
+        # Validates bits/ebt/scheme compatibility eagerly.
+        scheme_mac_cycles(self.scheme, self.bits, self.ebt)
+
+    @property
+    def mac_cycles(self) -> int:
+        """PE MAC cycle count: multiplication cycles + 1 accumulation."""
+        return scheme_mac_cycles(self.scheme, self.bits, self.ebt)
+
+    @property
+    def num_pes(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def effective_bits(self) -> int:
+        return self.ebt if self.ebt is not None else self.bits
+
+    @property
+    def label(self) -> str:
+        """Short display label, e.g. ``UR-8b-32c``."""
+        return f"{self.scheme.value}-{self.bits}b-{self.mac_cycles - 1}c"
+
+    def with_scheme(
+        self, scheme: ComputeScheme, ebt: int | None = None
+    ) -> "ArrayConfig":
+        """The same array shape/bitwidth under a different compute scheme."""
+        return dataclasses.replace(self, scheme=scheme, ebt=ebt)

@@ -1,0 +1,93 @@
+"""Dataflow alternatives and C-BSG compatibility (footnote 1).
+
+"This allows the dataflow to be either input or weight stationary, but
+not output stationary."  The conditional bitstream generator requires one
+operand's binary source to sit still while the RNG it drives advances
+under the other operand's enable bits; with an *output*-stationary
+mapping, both operands stream through each PE every cycle and no RNG
+state can be associated with either — the correlation guarantee of
+Equation 1 collapses.
+
+This module encodes that rule and supplies analytic cycle counts for the
+two compatible dataflows, so the weight-stationary choice the paper makes
+(following the TPU) can be compared quantitatively against the
+input-stationary alternative per workload.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+from ..gemm.params import GemmParams
+from ..schemes import ComputeScheme
+
+__all__ = ["Dataflow", "cbsg_compatible", "stationary_operand", "dataflow_cycles"]
+
+
+class Dataflow(enum.Enum):
+    """The three classical stationary choices."""
+
+    WEIGHT_STATIONARY = "WS"
+    INPUT_STATIONARY = "IS"
+    OUTPUT_STATIONARY = "OS"
+
+
+def cbsg_compatible(dataflow: Dataflow) -> bool:
+    """Whether C-BSG's stationary-operand requirement can be met."""
+    return dataflow is not Dataflow.OUTPUT_STATIONARY
+
+
+def stationary_operand(dataflow: Dataflow) -> str | None:
+    """Which operand's source data holds the C-BSG RNG (None for OS)."""
+    if dataflow is Dataflow.WEIGHT_STATIONARY:
+        return "weight"
+    if dataflow is Dataflow.INPUT_STATIONARY:
+        return "ifm"
+    return None
+
+
+def dataflow_cycles(
+    params: GemmParams,
+    rows: int,
+    cols: int,
+    dataflow: Dataflow,
+    scheme: ComputeScheme,
+    bits: int = 8,
+    ebt: int | None = None,
+) -> int:
+    """Contention-free compute cycles of one GEMM under a dataflow.
+
+    - WS: the array holds (rows x cols) of the (K x OC) weight matrix;
+      OH*OW input vectors stream per fold (the model used everywhere
+      else in this package).
+    - IS: the array holds (rows x cols) of the transposed (K x V) input
+      matrix; OC weight vectors stream per fold.  Weights must be
+      rate-coded streams generated against the held inputs' RNGs —
+      allowed by footnote 1.
+    - OS: each PE owns one (v, oc) output and streams K operand pairs;
+      only binary schemes may use it (C-BSG incompatible).
+    """
+    from ..schemes import scheme_mac_cycles
+
+    mac = scheme_mac_cycles(scheme, bits, ebt)
+    if dataflow is Dataflow.OUTPUT_STATIONARY and scheme.is_unary:
+        raise ValueError(
+            "output stationary is incompatible with C-BSG unary kernels "
+            "(footnote 1): no operand is stationary"
+        )
+    k = params.window
+    v = params.oh * params.ow
+    oc = params.oc
+    if dataflow is Dataflow.WEIGHT_STATIONARY:
+        folds = math.ceil(k / rows) * math.ceil(oc / cols)
+        streamed = v
+    elif dataflow is Dataflow.INPUT_STATIONARY:
+        folds = math.ceil(k / rows) * math.ceil(v / cols)
+        streamed = oc
+    else:
+        folds = math.ceil(v / rows) * math.ceil(oc / cols)
+        streamed = k
+    preload = rows + cols - 1
+    drain = rows + cols - 2
+    return folds * (preload + streamed * mac) + drain

@@ -1,0 +1,132 @@
+"""Behavioural PE models: functionally-faithful MACs for every scheme.
+
+Each PE model multiplies two N-bit signed integers and reports the product
+*at the true integer product scale* so that array outputs are directly
+comparable with an exact GEMM:
+
+- binary PEs are exact;
+- uSystolic PEs run the bit-true HUB kernel (unipolar uMUL + binary
+  accumulation) whose natural output is ``w*x / 2**(N-1)`` and rescale it;
+- the uGEMM-H PE runs the bipolar uMUL over ``2**N`` cycles.
+
+``mac_cycles`` on every model reports the latency the cycle simulator uses,
+keeping the functional and performance models in one place.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..schemes import ComputeScheme, scheme_mac_cycles
+from ..unary.bitstream import Coding, quantize_bipolar
+from ..unary.mac import HubMac
+from ..unary.multiply import umul_bipolar
+
+__all__ = ["PeModel", "BinaryPe", "UsystolicPe", "UgemmHPe", "make_pe"]
+
+
+class PeModel(abc.ABC):
+    """A processing element: one signed multiply per ``mac_cycles`` cycles."""
+
+    def __init__(self, bits: int, mac_cycles: int) -> None:
+        self.bits = bits
+        self.mac_cycles = mac_cycles
+
+    @abc.abstractmethod
+    def multiply(self, weight: int, ifm: int) -> float:
+        """Product estimate of two N-bit signed values, at integer scale."""
+
+    def mac(self, weight: int, ifm: int, partial: float) -> float:
+        """Multiply then binary-accumulate (the accumulation is exact)."""
+        return partial + self.multiply(weight, ifm)
+
+
+class BinaryPe(PeModel):
+    """Exact binary MAC — both the parallel and serial variants.
+
+    Bit-serial differs from bit-parallel only in latency (Section IV-C2);
+    both produce the exact 2N-bit product.
+    """
+
+    def __init__(self, bits: int, serial: bool = False) -> None:
+        scheme = (
+            ComputeScheme.BINARY_SERIAL if serial else ComputeScheme.BINARY_PARALLEL
+        )
+        super().__init__(bits, scheme_mac_cycles(scheme, bits))
+
+    def multiply(self, weight: int, ifm: int) -> float:
+        return float(weight * ifm)
+
+
+class UsystolicPe(PeModel):
+    """uSystolic PE: bit-true HUB MAC, rescaled to integer product scale.
+
+    The kernel's N-bit-resolution output ``~w*x / 2**(N-1)`` is multiplied
+    back by ``2**(N-1)``; the quantisation this bakes in *is* the
+    architecture's accuracy story (Figure 9).
+    """
+
+    def __init__(
+        self, bits: int, ebt: int | None = None, coding: Coding = Coding.RATE
+    ) -> None:
+        self._mac = HubMac(bits, ebt=ebt, coding=coding)
+        super().__init__(bits, self._mac.cycles)
+        self._scale = float(1 << (bits - 1))
+        self._cache: dict[tuple[int, int], float] = {}
+
+    @property
+    def ebt(self) -> int:
+        return self._mac.ebt
+
+    @property
+    def coding(self) -> Coding:
+        return self._mac.coding
+
+    def multiply(self, weight: int, ifm: int) -> float:
+        key = (weight, ifm)
+        if key not in self._cache:
+            # The kernel is deterministic (Sobol + counter), so identical
+            # operand pairs always produce identical counts; memoising makes
+            # whole-GEMM bit-true runs tractable.
+            self._cache[key] = self._mac.multiply(weight, ifm).product * self._scale
+        return self._cache[key]
+
+
+class UgemmHPe(PeModel):
+    """uGEMM-H PE: bipolar uMUL on signed data over ``2**ebt`` cycles."""
+
+    def __init__(self, bits: int, ebt: int | None = None) -> None:
+        if ebt is None:
+            ebt = bits
+        super().__init__(bits, scheme_mac_cycles(ComputeScheme.UGEMM_RATE, bits, ebt))
+        self.ebt = ebt
+        self._cache: dict[tuple[int, int], float] = {}
+
+    def multiply(self, weight: int, ifm: int) -> float:
+        key = (weight, ifm)
+        if key not in self._cache:
+            limit = float(1 << (self.bits - 1))
+            res = umul_bipolar(
+                quantize_bipolar(weight / limit, self.ebt),
+                quantize_bipolar(ifm / limit, self.ebt),
+                self.ebt,
+            )
+            self._cache[key] = res.value * limit * limit
+        return self._cache[key]
+
+
+def make_pe(
+    scheme: ComputeScheme, bits: int, ebt: int | None = None
+) -> PeModel:
+    """Factory keyed on :class:`ComputeScheme`."""
+    if scheme is ComputeScheme.BINARY_PARALLEL:
+        return BinaryPe(bits, serial=False)
+    if scheme is ComputeScheme.BINARY_SERIAL:
+        return BinaryPe(bits, serial=True)
+    if scheme is ComputeScheme.USYSTOLIC_RATE:
+        return UsystolicPe(bits, ebt=ebt, coding=Coding.RATE)
+    if scheme is ComputeScheme.USYSTOLIC_TEMPORAL:
+        if ebt is not None and ebt != bits:
+            raise ValueError("temporal coding admits no early termination")
+        return UsystolicPe(bits, coding=Coding.TEMPORAL)
+    return UgemmHPe(bits, ebt=ebt)

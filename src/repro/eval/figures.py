@@ -1,0 +1,89 @@
+"""Text-mode figure rendering: log-scale bar charts like the paper's plots.
+
+The benches print numeric tables for precision; these renderers add the
+visual shape — grouped horizontal bars on a log axis — so a terminal run
+of the harness reads like flipping through the paper's figures.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["log_bar_chart", "line_chart"]
+
+
+def log_bar_chart(
+    series: dict[str, dict[str, float]],
+    title: str = "",
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Grouped horizontal bars on a log10 axis.
+
+    ``series[group][label] = value``; every positive value maps to a bar
+    whose length is proportional to its log position between the global
+    min and max.
+    """
+    values = [v for grp in series.values() for v in grp.values() if v > 0]
+    if not values:
+        return title
+    lo = min(values)
+    hi = max(values)
+    span = math.log10(hi / lo) if hi > lo else 1.0
+    label_w = max(
+        (len(label) for grp in series.values() for label in grp), default=0
+    )
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for group, grp in series.items():
+        lines.append(f"[{group}]")
+        for label, value in grp.items():
+            if value <= 0:
+                bar = ""
+                shown = "0"
+            else:
+                frac = math.log10(value / lo) / span if span else 1.0
+                bar = "#" * max(1, int(round(frac * width)))
+                shown = f"{value:.3g}{unit}"
+            lines.append(f"  {label.ljust(label_w)} |{bar} {shown}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    xs: list[float],
+    series: dict[str, list[float]],
+    title: str = "",
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """A sparse ASCII line chart: one mark character per series."""
+    marks = "ox+*#@%&"
+    all_ys = [y for ys in series.values() for y in ys]
+    if not all_ys or not xs:
+        return title
+    lo, hi = min(all_ys), max(all_ys)
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = min(xs), max(xs)
+    x_span = (x_hi - x_lo) or 1.0
+    for idx, (name, ys) in enumerate(series.items()):
+        mark = marks[idx % len(marks)]
+        for x, y in zip(xs, ys):
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - lo) / (hi - lo) * (height - 1))
+            grid[row][col] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:.3g} +" + "-" * width)
+    for row in grid:
+        lines.append("      |" + "".join(row))
+    lines.append(f"{lo:.3g} +" + "-" * width)
+    legend = "  ".join(
+        f"{marks[i % len(marks)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append("      " + legend)
+    return "\n".join(lines)

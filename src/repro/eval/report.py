@@ -1,0 +1,67 @@
+"""Report rendering: fixed-width tables shaped like the paper's figures.
+
+Every evaluation pipeline returns structured data plus a formatter that
+prints the same rows/series the corresponding paper table or figure
+reports, so a bench run reads side by side with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "table1"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as a fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(v) for v in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, values: dict[str, float], fmt: str = "{:.3g}") -> str:
+    """One labelled series: ``name: k1=v1 k2=v2 ...``."""
+    body = " ".join(f"{k}={fmt.format(v)}" for k, v in values.items())
+    return f"{name}: {body}"
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e4 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.3f}".rstrip("0").rstrip(".")
+    return str(v)
+
+
+def table1() -> str:
+    """Table I: qualitative comparison of GEMM architectures.
+
+    Reproduced verbatim from the paper; the quantitative benches
+    substantiate each cell (power: Fig. 13/14; scalability: contention and
+    reuse benches; generalizability: the scheduler-order test and MLPerf).
+    """
+    headers = ["Architecture", "Accuracy", "PowerEff", "Scalability", "Generalizability"]
+    rows = [
+        ["B-Systolic [30]", "Precise", "Low", "High", "High"],
+        ["B-Mesh [13]", "Precise", "Low", "Low", "High"],
+        ["FSU [54,69,75]", "Low-High", "High", "Low", "Low"],
+        ["HUB [38,57,58]", "High", "High", "Low", "Medium"],
+        ["uSystolic (ours)", "High", "High", "High", "High"],
+    ]
+    return format_table(headers, rows, title="Table I: GEMM architecture comparison")

@@ -1,0 +1,109 @@
+"""One-shot driver: regenerate every paper table and figure in sequence.
+
+``python -m repro.eval`` runs this.  The accuracy experiment (Figure 9)
+trains three CNNs and is the slow step; pass ``--fast`` to shrink it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, TextIO
+
+from ..workloads.presets import CLOUD, EDGE
+from .accuracy import format_figure9, run_accuracy_experiment
+from .area import format_figure11, run_area_experiment
+from .bandwidth import format_figure10, run_bandwidth_experiment
+from .efficiency import format_figure14, headline, run_efficiency_experiment
+from .energy import format_figure13, run_energy_experiment
+from .report import format_series, table1
+from .throughput import format_figure12, run_throughput_experiment
+
+__all__ = ["run_all", "main"]
+
+
+def _timed(out: TextIO, name: str, fn: Callable[[], str]) -> None:
+    start = time.perf_counter()
+    text = fn()
+    elapsed = time.perf_counter() - start
+    print(f"\n{'=' * 72}\n{name}  ({elapsed:.1f}s)\n{'=' * 72}", file=out)
+    print(text, file=out)
+
+
+def run_all(out: TextIO = sys.stdout, fast: bool = False) -> None:
+    """Regenerate Table I and Figures 9-14 plus the headline numbers."""
+    ebts = [6, 8, 10] if fast else list(range(6, 13))
+    train = 250 if fast else 500
+    test = 60 if fast else 150
+
+    _timed(out, "Table I", table1)
+    _timed(
+        out,
+        "Figure 9: accuracy vs effective bitwidth",
+        lambda: format_figure9(
+            run_accuracy_experiment(ebts=ebts, train_samples=train, test_samples=test),
+            ebts,
+        ),
+    )
+    for platform in (EDGE, CLOUD):
+        _timed(
+            out,
+            f"Figure 10 ({platform.name}): bandwidth",
+            lambda p=platform: format_figure10(run_bandwidth_experiment(p)),
+        )
+    for platform in (EDGE, CLOUD):
+        _timed(
+            out,
+            f"Figure 11 ({platform.name}): area",
+            lambda p=platform: format_figure11(run_area_experiment(p), p.name),
+        )
+    for platform in (EDGE, CLOUD):
+        _timed(
+            out,
+            f"Figure 12 ({platform.name}): throughput",
+            lambda p=platform: format_figure12(run_throughput_experiment(p)),
+        )
+    for platform in (EDGE, CLOUD):
+        _timed(
+            out,
+            f"Figure 13 ({platform.name}): energy",
+            lambda p=platform: format_figure13(run_energy_experiment(p)),
+        )
+    _timed(
+        out,
+        "Figure 14: efficiency improvements",
+        lambda: format_figure14(
+            [
+                run_efficiency_experiment(EDGE, "alexnet"),
+                run_efficiency_experiment(CLOUD, "alexnet"),
+                run_efficiency_experiment(EDGE, "mlperf"),
+                run_efficiency_experiment(CLOUD, "mlperf"),
+            ]
+        ),
+    )
+    _timed(
+        out,
+        "Headline",
+        lambda: format_series("edge headline", headline(EDGE), fmt="{:.1f}"),
+    )
+    from .claims import format_scorecard, run_claims
+
+    _timed(
+        out,
+        "Reproduction scorecard",
+        lambda: format_scorecard(run_claims(include_slow=not fast)),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Regenerate every uSystolic paper table/figure.",
+    )
+    parser.add_argument(
+        "--fast", action="store_true", help="shrink the Figure 9 training run"
+    )
+    args = parser.parse_args(argv)
+    run_all(fast=args.fast)
+    return 0

@@ -1,0 +1,13 @@
+"""Fully streaming unary (FSU) baseline: the architecture uSystolic rejects."""
+
+from .cost import FsuInstanceCost, fsu_instance_cost, fsu_vs_usystolic_area
+from .ugemm import FsuGemm, FsuStorageReport, fsu_weight_storage
+
+__all__ = [
+    "FsuGemm",
+    "FsuStorageReport",
+    "fsu_weight_storage",
+    "FsuInstanceCost",
+    "fsu_instance_cost",
+    "fsu_vs_usystolic_area",
+]

@@ -1,0 +1,46 @@
+"""im2col: lower a convolution window to rows of a matrix multiplication.
+
+The weight-stationary systolic array consumes convolutions as GEMMs whose
+reduction dimension is the flattened weight window (WH*WW*IC) — exactly the
+lowering SCALE-Sim performs when scheduling traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .params import GemmParams
+
+__all__ = ["im2col", "col2im_output"]
+
+
+def im2col(params: GemmParams, ifm: np.ndarray) -> np.ndarray:
+    """Gather IFM windows into a (OH*OW, WH*WW*IC) matrix.
+
+    Column k of a row holds the IFM element that multiplies weight element k
+    of every output channel, with k ordered as the (wh, ww, ic) loop nest of
+    Algorithm 1.
+    """
+    if ifm.shape != (params.ih, params.iw, params.ic):
+        raise ValueError(
+            f"IFM shape {ifm.shape} != ({params.ih}, {params.iw}, {params.ic})"
+        )
+    s = params.stride
+    rows = np.empty((params.oh * params.ow, params.window), dtype=ifm.dtype)
+    r = 0
+    for oh in range(params.oh):
+        for ow in range(params.ow):
+            window = ifm[
+                oh * s : oh * s + params.wh, ow * s : ow * s + params.ww, :
+            ]
+            rows[r] = window.reshape(-1)
+            r += 1
+    return rows
+
+
+def col2im_output(params: GemmParams, out_mat: np.ndarray) -> np.ndarray:
+    """Reshape a (OH*OW, OC) GEMM result back to the (OH, OW, OC) OFM."""
+    want = (params.oh * params.ow, params.oc)
+    if out_mat.shape != want:
+        raise ValueError(f"output shape {out_mat.shape} != expected {want}")
+    return out_mat.reshape(params.oh, params.ow, params.oc)

@@ -1,0 +1,58 @@
+"""Reference GEMM loop nest (Algorithm 1) and vectorised equivalents.
+
+The six-deep loop of Algorithm 1 is the functional specification every
+compute scheme must match.  :func:`gemm_reference` executes it literally
+(slow, for tests); :func:`gemm_fast` uses the im2col transform and a single
+matmul (the oracle used everywhere else).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .im2col import im2col
+from .params import GemmParams
+
+__all__ = ["gemm_reference", "gemm_fast"]
+
+
+def gemm_reference(params: GemmParams, weight: np.ndarray, ifm: np.ndarray) -> np.ndarray:
+    """Algorithm 1, executed loop by loop.
+
+    ``ifm`` has shape (IH, IW, IC) and ``weight`` (OC, WH, WW, IC); the
+    output has shape (OH, OW, OC).
+    """
+    _check_shapes(params, weight, ifm)
+    out = np.zeros((params.oh, params.ow, params.oc), dtype=np.float64)
+    s = params.stride
+    for oh in range(params.oh):
+        for ow in range(params.ow):
+            for oc in range(params.oc):
+                acc = 0.0
+                for wh in range(params.wh):
+                    for ww in range(params.ww):
+                        for ic in range(params.ic):
+                            acc += (
+                                weight[oc, wh, ww, ic]
+                                * ifm[wh + oh * s, ww + ow * s, ic]
+                            )
+                out[oh, ow, oc] = acc
+    return out
+
+
+def gemm_fast(params: GemmParams, weight: np.ndarray, ifm: np.ndarray) -> np.ndarray:
+    """im2col + matmul implementation of Algorithm 1 (the fast oracle)."""
+    _check_shapes(params, weight, ifm)
+    cols = im2col(params, ifm)  # (OH*OW, WH*WW*IC)
+    wmat = weight.reshape(params.oc, params.window).T  # (window, OC)
+    out = cols @ wmat  # (OH*OW, OC)
+    return out.reshape(params.oh, params.ow, params.oc)
+
+
+def _check_shapes(params: GemmParams, weight: np.ndarray, ifm: np.ndarray) -> None:
+    want_ifm = (params.ih, params.iw, params.ic)
+    want_w = (params.oc, params.wh, params.ww, params.ic)
+    if ifm.shape != want_ifm:
+        raise ValueError(f"IFM shape {ifm.shape} != expected {want_ifm}")
+    if weight.shape != want_w:
+        raise ValueError(f"weight shape {weight.shape} != expected {want_w}")

@@ -1,0 +1,18 @@
+"""Hardware cost models (the reproduction's Design Compiler substitute)."""
+
+from .array_cost import ArrayCost, array_cost
+from .gates import TECH_32NM, TechNode
+from .pe_cost import PeCost, PePosition, pe_cost
+from .synthesis import SynthesisReport, synthesize
+
+__all__ = [
+    "ArrayCost",
+    "array_cost",
+    "TECH_32NM",
+    "TechNode",
+    "PeCost",
+    "PePosition",
+    "pe_cost",
+    "SynthesisReport",
+    "synthesize",
+]

@@ -1,0 +1,120 @@
+"""Roll-up of PE costs to whole-array area, leakage and dynamic energy.
+
+The array mixes one leftmost column of full PEs with C-1 columns of reuse
+PEs (for unary schemes), plus the per-column output shifters of the early
+termination path (Section III-C) — the latter excluded from the Figure 11
+breakdown ("excluding the insignificant FIFOs and shifters") but included
+in the energy model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..schemes import ComputeScheme
+from . import gates
+from .gates import TECH_32NM, TechNode
+from .pe_cost import PeCost, PePosition, pe_cost
+
+__all__ = ["ArrayCost", "array_cost", "wiring_factor"]
+
+_BLOCKS = ("ireg", "wreg", "mul", "acc")
+
+# Placement/routing overhead coefficient: post-layout area exceeds the
+# summed standard-cell area by a factor that grows with array scale
+# (Section II-B2's routing-congestion argument; calibrated so the 256x256
+# cloud array lands at the paper's hundreds-of-mm^2 scale).
+_WIRING_COEFF = 0.0195
+
+
+def wiring_factor(rows: int, cols: int) -> float:
+    """Post-layout area multiplier for an ``rows x cols`` array."""
+    return 1.0 + _WIRING_COEFF * (rows * cols) ** 0.5
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrayCost:
+    """Area/power model of an R x C systolic array."""
+
+    scheme: ComputeScheme
+    rows: int
+    cols: int
+    bits: int
+    block_ge: dict[str, float]
+    shifter_ge: float
+    tech: TechNode
+
+    @property
+    def total_ge(self) -> float:
+        return sum(self.block_ge.values())
+
+    @property
+    def wiring(self) -> float:
+        """Placement/routing area multiplier at this array scale."""
+        return wiring_factor(self.rows, self.cols)
+
+    @property
+    def area_mm2(self) -> float:
+        """Post-layout array area excluding shifters/FIFOs (Figure 11)."""
+        return self.tech.area_mm2(self.total_ge) * self.wiring
+
+    def block_area_mm2(self, block: str) -> float:
+        return self.tech.area_mm2(self.block_ge[block]) * self.wiring
+
+    @property
+    def leakage_w(self) -> float:
+        return self.tech.leakage_w(self.total_ge + self.shifter_ge) * self.wiring
+
+    def dynamic_energy_j(self, active_pe_cycles: float) -> float:
+        """Dynamic energy for ``active_pe_cycles`` PE-cycles of work.
+
+        ``active_pe_cycles`` is the sum over cycles of the number of PEs
+        doing useful work that cycle (utilization-weighted), which the
+        cycle simulator reports.
+        """
+        left = pe_cost(self.scheme, self.bits, PePosition.LEFTMOST)
+        # Use the array-average per-PE activity-weighted gate count.
+        inner = pe_cost(self.scheme, self.bits, PePosition.INNER)
+        per_pe = 0.0
+        for block in _BLOCKS:
+            avg_ge = (left.block(block) + (self.cols - 1) * inner.block(block)) / (
+                self.cols
+            )
+            per_pe += avg_ge * inner.activity[block]
+        return self.tech.dynamic_energy_j(per_pe, 1.0, active_pe_cycles)
+
+    def dynamic_power_w(self, active_pe_cycles: float, runtime_cycles: float) -> float:
+        if runtime_cycles <= 0:
+            return 0.0
+        energy = self.dynamic_energy_j(active_pe_cycles)
+        return energy / (runtime_cycles / self.tech.frequency_hz)
+
+
+def array_cost(
+    scheme: ComputeScheme,
+    rows: int,
+    cols: int,
+    bits: int,
+    tech: TechNode = TECH_32NM,
+) -> ArrayCost:
+    """Compose the PE costs of an ``rows x cols`` array of ``scheme``."""
+    if rows < 1 or cols < 1:
+        raise ValueError("array dimensions must be positive")
+    left: PeCost = pe_cost(scheme, bits, PePosition.LEFTMOST)
+    inner: PeCost = pe_cost(scheme, bits, PePosition.INNER)
+    block_ge = {}
+    for block in _BLOCKS:
+        block_ge[block] = rows * (
+            left.block(block) + (cols - 1) * inner.block(block)
+        )
+    # One output shifter per column for early-termination rescale (top row).
+    shifter_ge = cols * gates.shifter(bits + 4, bits)
+    return ArrayCost(
+        scheme=scheme,
+        rows=rows,
+        cols=cols,
+        bits=bits,
+        block_ge=block_ge,
+        shifter_ge=shifter_ge,
+        tech=tech,
+    )

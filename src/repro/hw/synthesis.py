@@ -1,0 +1,66 @@
+"""Synthesis front-end: one call from configuration to a hardware report.
+
+Mirrors the paper's "Hardware synthesis (Design Compiler)" widget in
+Figure 8: given a systolic-array configuration it returns area by block,
+leakage power, and the dynamic energy/power coefficients the evaluation
+pipelines consume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..schemes import ComputeScheme
+from .array_cost import ArrayCost, array_cost
+from .gates import TECH_32NM, TechNode
+
+__all__ = ["SynthesisReport", "synthesize"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SynthesisReport:
+    """Area/power summary of one synthesized systolic array."""
+
+    scheme: ComputeScheme
+    rows: int
+    cols: int
+    bits: int
+    area_mm2: float
+    block_area_mm2: dict[str, float]
+    leakage_w: float
+    cost: ArrayCost
+
+    def format_row(self) -> str:
+        """One table row: scheme, shape, per-block and total area."""
+        blocks = " ".join(
+            f"{name.upper()}={area * 1e3:7.1f}"
+            for name, area in self.block_area_mm2.items()
+        )
+        return (
+            f"{self.scheme.value}-{self.bits}b {self.rows}x{self.cols}: "
+            f"{blocks} total={self.area_mm2 * 1e3:8.1f} (units: 1e-3 mm^2) "
+            f"leak={self.leakage_w * 1e3:.2f} mW"
+        )
+
+
+def synthesize(
+    scheme: ComputeScheme,
+    rows: int,
+    cols: int,
+    bits: int,
+    tech: TechNode = TECH_32NM,
+) -> SynthesisReport:
+    """Produce a :class:`SynthesisReport` for one array configuration."""
+    cost = array_cost(scheme, rows, cols, bits, tech=tech)
+    return SynthesisReport(
+        scheme=scheme,
+        rows=rows,
+        cols=cols,
+        bits=bits,
+        area_mm2=cost.area_mm2,
+        block_area_mm2={
+            name: cost.block_area_mm2(name) for name in ("ireg", "wreg", "mul", "acc")
+        },
+        leakage_w=cost.leakage_w,
+        cost=cost,
+    )

@@ -1,0 +1,14 @@
+"""Memory hierarchy substrate: CACTI-style SRAM, DDR3 DRAM, configurations."""
+
+from .cacti import SramSpec, sram_model
+from .dram import DDR3_1GB, DramSpec
+from .hierarchy import VARIABLES, MemoryConfig
+
+__all__ = [
+    "SramSpec",
+    "sram_model",
+    "DDR3_1GB",
+    "DramSpec",
+    "VARIABLES",
+    "MemoryConfig",
+]

@@ -1,0 +1,72 @@
+"""Memory-hierarchy configuration: per-variable SRAMs plus off-chip DRAM.
+
+Section IV-C3: both reference platforms carve their global buffer evenly
+into three single-variable SRAMs (IFM, weight, OFM), 16 banks each, double
+buffered to hide access latency.  uSystolic's headline system-level move is
+*eliminating* these SRAMs outright — modelled here by a ``None`` capacity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .cacti import SramSpec, sram_model
+from .dram import DDR3_1GB, DramSpec
+
+__all__ = ["MemoryConfig", "VARIABLES"]
+
+VARIABLES = ("ifm", "weight", "ofm")
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryConfig:
+    """One memory hierarchy: optional per-variable SRAM over a DRAM channel.
+
+    ``sram_bytes_per_variable`` of ``None`` models uSystolic's SRAM
+    elimination (Section III-E): every access the SRAM would have served is
+    sent to DRAM instead.
+    """
+
+    sram_bytes_per_variable: int | None
+    dram: DramSpec = DDR3_1GB
+    sram_banks: int = 16
+    sram_word_bytes: int = 8
+    double_buffered: bool = True
+
+    @property
+    def has_sram(self) -> bool:
+        return self.sram_bytes_per_variable is not None
+
+    def sram(self) -> SramSpec | None:
+        """The per-variable SRAM macro, or ``None`` when eliminated."""
+        if self.sram_bytes_per_variable is None:
+            return None
+        return sram_model(
+            self.sram_bytes_per_variable,
+            banks=self.sram_banks,
+            word_bytes=self.sram_word_bytes,
+        )
+
+    def usable_sram_bytes(self) -> int:
+        """Capacity available to one buffer of the double-buffered pair."""
+        if self.sram_bytes_per_variable is None:
+            return 0
+        if self.double_buffered:
+            return self.sram_bytes_per_variable // 2
+        return self.sram_bytes_per_variable
+
+    def total_sram_area_mm2(self) -> float:
+        sram = self.sram()
+        if sram is None:
+            return 0.0
+        return len(VARIABLES) * sram.area_mm2
+
+    def total_sram_leakage_w(self) -> float:
+        sram = self.sram()
+        if sram is None:
+            return 0.0
+        return len(VARIABLES) * sram.leakage_w
+
+    def without_sram(self) -> "MemoryConfig":
+        """The same hierarchy with on-chip SRAM eliminated."""
+        return dataclasses.replace(self, sram_bytes_per_variable=None)

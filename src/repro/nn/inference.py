@@ -1,0 +1,57 @@
+"""Quantised inference: evaluate one trained model under any scheme.
+
+The Figure 9 measurement: run the test set through the network with every
+GEMM executed by the chosen :class:`~repro.nn.quant.QuantSpec` and report
+top-1 accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Sequential
+from .quant import QuantMode, QuantSpec
+
+__all__ = ["evaluate", "accuracy_sweep"]
+
+
+def evaluate(
+    model: Sequential,
+    x: np.ndarray,
+    y: np.ndarray,
+    spec: QuantSpec,
+    batch_size: int = 64,
+) -> float:
+    """Top-1 accuracy of ``model`` on (x, y) under ``spec``."""
+    correct = 0
+    for start in range(0, len(y), batch_size):
+        xb = x[start : start + batch_size]
+        yb = y[start : start + batch_size]
+        logits = model.forward(xb, spec)
+        correct += int((logits.argmax(axis=1) == yb).sum())
+    return correct / len(y)
+
+
+def accuracy_sweep(
+    model: Sequential,
+    x: np.ndarray,
+    y: np.ndarray,
+    ebts: list[int],
+    modes: list[QuantMode] | None = None,
+    batch_size: int = 64,
+) -> dict[str, dict[int, float]]:
+    """Accuracy of every (mode, EBT) pair plus the FP32 reference.
+
+    Returns ``{mode_value: {ebt: accuracy}}`` with FP32 stored under key
+    ``"fp32"`` mapping every EBT to the same reference accuracy.
+    """
+    if modes is None:
+        modes = [QuantMode.FXP_O_RES, QuantMode.USYSTOLIC, QuantMode.FXP_I_RES]
+    fp32 = evaluate(model, x, y, QuantSpec(QuantMode.FP32), batch_size)
+    table: dict[str, dict[int, float]] = {"fp32": {ebt: fp32 for ebt in ebts}}
+    for mode in modes:
+        table[mode.value] = {
+            ebt: evaluate(model, x, y, QuantSpec(mode, ebt), batch_size)
+            for ebt in ebts
+        }
+    return table

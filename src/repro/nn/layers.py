@@ -1,0 +1,360 @@
+"""Pure-numpy neural-network layers with pluggable GEMM backends.
+
+Forward passes route every GEMM (convolution via im2col, fully-connected
+directly) through a :class:`~repro.nn.quant.QuantSpec`, so one trained
+model can be evaluated under FP32, fixed-point, or bit-exact uSystolic
+arithmetic — the Figure 9 experiment.  Backward passes are float-only (the
+paper performs no accuracy-preserving retraining; training happens in FP32
+and quantisation is post-hoc).
+
+Tensor layout: (batch, height, width, channels) for images, (batch,
+features) after flattening.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from .quant import QuantMode, QuantSpec, quantized_gemm
+
+__all__ = [
+    "Layer",
+    "Conv2d",
+    "Linear",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "BatchNorm",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool",
+    "Residual",
+    "Sequential",
+]
+
+FP32 = QuantSpec(QuantMode.FP32)
+
+
+class Layer(abc.ABC):
+    """Base layer: forward with a quant spec, float backward for training."""
+
+    @abc.abstractmethod
+    def forward(self, x: np.ndarray, spec: QuantSpec = FP32) -> np.ndarray:
+        """Compute outputs; caches whatever backward needs."""
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Propagate gradients (FP32 training only)."""
+        raise NotImplementedError(f"{type(self).__name__} has no backward")
+
+    def params_and_grads(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """(parameter, gradient) pairs for the optimiser."""
+        return []
+
+    def __call__(self, x: np.ndarray, spec: QuantSpec = FP32) -> np.ndarray:
+        return self.forward(x, spec)
+
+
+def _im2col_batch(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
+    """(B, H, W, C) -> (B, OH, OW, KH*KW*C) patch matrix."""
+    b, h, w, c = x.shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    out = np.empty((b, oh, ow, kh * kw * c), dtype=x.dtype)
+    for i in range(oh):
+        for j in range(ow):
+            patch = x[:, i * stride : i * stride + kh, j * stride : j * stride + kw, :]
+            out[:, i, j, :] = patch.reshape(b, -1)
+    return out
+
+
+class Conv2d(Layer):
+    """Valid-padding convolution lowered to GEMM (pad inputs upstream)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        pad: int = 0,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        fan_in = kernel * kernel * in_channels
+        self.weight = rng.standard_normal((fan_in, out_channels)) * np.sqrt(
+            2.0 / fan_in
+        )
+        self.bias = np.zeros(out_channels)
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = pad
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, spec: QuantSpec = FP32) -> np.ndarray:
+        if self.pad:
+            x = np.pad(
+                x, ((0, 0), (self.pad, self.pad), (self.pad, self.pad), (0, 0))
+            )
+        self._x_shape = x.shape
+        cols = _im2col_batch(x, self.kernel, self.kernel, self.stride)
+        b, oh, ow, k = cols.shape
+        self._cols = cols.reshape(b * oh * ow, k)
+        out = quantized_gemm(self._cols, self.weight, spec) + self.bias
+        return out.reshape(b, oh, ow, -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        b, oh, ow, oc = grad.shape
+        gmat = grad.reshape(-1, oc)
+        self.grad_weight = self._cols.T @ gmat
+        self.grad_bias = gmat.sum(axis=0)
+        gcols = gmat @ self.weight.T
+        # col2im: scatter patch gradients back onto the (padded) input.
+        _, h, w, c = self._x_shape
+        gx = np.zeros((b, h, w, c))
+        gcols = gcols.reshape(b, oh, ow, self.kernel, self.kernel, c)
+        s = self.stride
+        for i in range(oh):
+            for j in range(ow):
+                gx[:, i * s : i * s + self.kernel, j * s : j * s + self.kernel, :] += (
+                    gcols[:, i, j]
+                )
+        if self.pad:
+            gx = gx[:, self.pad : h - self.pad, self.pad : w - self.pad, :]
+        return gx
+
+    def params_and_grads(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        return [(self.weight, self.grad_weight), (self.bias, self.grad_bias)]
+
+
+class Linear(Layer):
+    """Fully-connected layer: (B, K) @ (K, OC) + bias."""
+
+    def __init__(self, in_features: int, out_features: int, seed: int = 0) -> None:
+        rng = np.random.default_rng(seed)
+        self.weight = rng.standard_normal((in_features, out_features)) * np.sqrt(
+            2.0 / in_features
+        )
+        self.bias = np.zeros(out_features)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, spec: QuantSpec = FP32) -> np.ndarray:
+        self._x = x
+        return quantized_gemm(x, self.weight, spec) + self.bias
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        self.grad_weight = self._x.T @ grad
+        self.grad_bias = grad.sum(axis=0)
+        return grad @ self.weight.T
+
+    def params_and_grads(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        return [(self.weight, self.grad_weight), (self.bias, self.grad_bias)]
+
+
+class ReLU(Layer):
+    def forward(self, x: np.ndarray, spec: QuantSpec = FP32) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._mask
+
+
+class MaxPool2d(Layer):
+    """Non-overlapping max pooling."""
+
+    def __init__(self, size: int = 2) -> None:
+        self.size = size
+
+    def forward(self, x: np.ndarray, spec: QuantSpec = FP32) -> np.ndarray:
+        b, h, w, c = x.shape
+        s = self.size
+        oh, ow = h // s, w // s
+        self._in_shape = x.shape
+        cropped = x[:, : oh * s, : ow * s, :]
+        windows = cropped.reshape(b, oh, s, ow, s, c)
+        out = windows.max(axis=(2, 4))
+        self._argmask = windows == out[:, :, None, :, None, :]
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        b, oh, ow, c = grad.shape
+        s = self.size
+        expanded = (grad[:, :, None, :, None, :] * self._argmask).reshape(
+            b, oh * s, ow * s, c
+        )
+        # Rows/columns cropped by non-divisible inputs get zero gradient.
+        gx = np.zeros(self._in_shape)
+        gx[:, : oh * s, : ow * s, :] = expanded
+        return gx
+
+
+class Flatten(Layer):
+    def forward(self, x: np.ndarray, spec: QuantSpec = FP32) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad.reshape(self._shape)
+
+
+class GlobalAvgPool(Layer):
+    def forward(self, x: np.ndarray, spec: QuantSpec = FP32) -> np.ndarray:
+        self._shape = x.shape
+        return x.mean(axis=(1, 2))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        b, h, w, c = self._shape
+        return np.broadcast_to(grad[:, None, None, :], self._shape) / (h * w)
+
+
+class Residual(Layer):
+    """Residual block: ``x + inner(x)`` (the ResNet-style skip)."""
+
+    def __init__(self, inner: "Sequential") -> None:
+        self.inner = inner
+
+    def forward(self, x: np.ndarray, spec: QuantSpec = FP32) -> np.ndarray:
+        return x + self.inner.forward(x, spec)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad + self.inner.backward(grad)
+
+    def params_and_grads(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        return self.inner.params_and_grads()
+
+
+class Sequential(Layer):
+    """Layer container; also the top-level model type."""
+
+    def __init__(self, *layers: Layer) -> None:
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray, spec: QuantSpec = FP32) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, spec)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def params_and_grads(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        pairs = []
+        for layer in self.layers:
+            pairs.extend(layer.params_and_grads())
+        return pairs
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(p.size for p, _ in self.params_and_grads())
+
+
+class BatchNorm(Layer):
+    """Per-channel batch normalisation (training uses batch statistics,
+    inference uses the tracked running estimates).
+
+    At inference the affine transform could be folded into the previous
+    convolution; keeping it explicit leaves quantisation behaviour
+    unchanged because the transform runs in float either way (the paper's
+    HUB flow only replaces GEMMs).
+    """
+
+    def __init__(self, channels: int, momentum: float = 0.9, eps: float = 1e-5) -> None:
+        self.gamma = np.ones(channels)
+        self.beta = np.zeros(channels)
+        self.grad_gamma = np.zeros(channels)
+        self.grad_beta = np.zeros(channels)
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self.momentum = momentum
+        self.eps = eps
+        self.training = True
+
+    def forward(self, x: np.ndarray, spec: QuantSpec = FP32) -> np.ndarray:
+        axes = tuple(range(x.ndim - 1))
+        if self.training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        self._std = np.sqrt(var + self.eps)
+        self._xhat = (x - mean) / self._std
+        return self.gamma * self._xhat + self.beta
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        axes = tuple(range(grad.ndim - 1))
+        n = grad.size // grad.shape[-1]
+        self.grad_gamma = (grad * self._xhat).sum(axis=axes)
+        self.grad_beta = grad.sum(axis=axes)
+        gx_hat = grad * self.gamma
+        return (
+            gx_hat
+            - gx_hat.mean(axis=axes)
+            - self._xhat * (gx_hat * self._xhat).sum(axis=axes) / n
+        ) / self._std
+
+    def params_and_grads(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        return [(self.gamma, self.grad_gamma), (self.beta, self.grad_beta)]
+
+
+class AvgPool2d(Layer):
+    """Non-overlapping average pooling."""
+
+    def __init__(self, size: int = 2) -> None:
+        self.size = size
+
+    def forward(self, x: np.ndarray, spec: QuantSpec = FP32) -> np.ndarray:
+        b, h, w, c = x.shape
+        s = self.size
+        oh, ow = h // s, w // s
+        self._in_shape = x.shape
+        cropped = x[:, : oh * s, : ow * s, :]
+        return cropped.reshape(b, oh, s, ow, s, c).mean(axis=(2, 4))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        b, oh, ow, c = grad.shape
+        s = self.size
+        spread = np.broadcast_to(
+            grad[:, :, None, :, None, :], (b, oh, s, ow, s, c)
+        ).reshape(b, oh * s, ow * s, c) / (s * s)
+        gx = np.zeros(self._in_shape)
+        gx[:, : oh * s, : ow * s, :] = spread
+        return gx
+
+
+class Dropout(Layer):
+    """Inverted dropout: active during training, identity at inference."""
+
+    def __init__(self, rate: float = 0.5, seed: int = 0) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.training = True
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: np.ndarray, spec: QuantSpec = FP32) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask

@@ -1,0 +1,113 @@
+"""Bridge from a built network to its hardware GEMM workload.
+
+:func:`network_to_gemms` walks a :class:`~repro.nn.layers.Sequential`
+model with a symbolic input shape and emits one :class:`~repro.gemm.
+params.GemmParams` per Conv2d/Linear layer — the exact workload the cycle
+simulator consumes.  This closes the Figure 8 loop for user-defined
+models: the same object answers both "how accurate is it under uSystolic"
+(``repro.nn.inference``) and "what does it cost on the array"
+(``repro.sim.engine``).
+"""
+
+from __future__ import annotations
+
+from ..gemm.params import GemmParams
+from .layers import (
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    Layer,
+    Linear,
+    MaxPool2d,
+    Residual,
+    Sequential,
+)
+
+__all__ = ["network_to_gemms"]
+
+
+def network_to_gemms(
+    model: Sequential,
+    input_shape: tuple[int, int, int],
+    prefix: str = "layer",
+) -> list[GemmParams]:
+    """Trace shapes through ``model`` and emit its GEMM workload.
+
+    ``input_shape`` is (H, W, C).  Layers without GEMMs (activations,
+    pooling, flatten) only transform the traced shape.
+    """
+    gemms: list[GemmParams] = []
+    _walk(model, input_shape, prefix, gemms)
+    return gemms
+
+
+def _walk(
+    layer: Layer,
+    shape: tuple[int, ...],
+    prefix: str,
+    out: list[GemmParams],
+) -> tuple[int, ...]:
+    if isinstance(layer, Sequential):
+        for i, sub in enumerate(layer.layers):
+            shape = _walk(sub, shape, f"{prefix}.{i}", out)
+        return shape
+    if isinstance(layer, Residual):
+        inner_shape = _walk(layer.inner, shape, f"{prefix}.res", out)
+        if inner_shape != shape:
+            raise ValueError(
+                f"residual branch changes shape {shape} -> {inner_shape}"
+            )
+        return shape
+    if isinstance(layer, Conv2d):
+        h, w, c = shape
+        fan_in = layer.weight.shape[0]
+        if fan_in != layer.kernel * layer.kernel * c:
+            raise ValueError(
+                f"{prefix}: traced channels {c} do not match conv fan-in"
+            )
+        oc = layer.weight.shape[1]
+        ih, iw = h + 2 * layer.pad, w + 2 * layer.pad
+        params = GemmParams(
+            f"{prefix}.conv",
+            ih=ih,
+            iw=iw,
+            ic=c,
+            wh=layer.kernel,
+            ww=layer.kernel,
+            oc=oc,
+            stride=layer.stride,
+        )
+        out.append(params)
+        return (params.oh, params.ow, oc)
+    if isinstance(layer, Linear):
+        (features,) = _as_flat(shape)
+        if features != layer.weight.shape[0]:
+            raise ValueError(
+                f"{prefix}: traced features {features} != linear in-features "
+                f"{layer.weight.shape[0]}"
+            )
+        out.append(
+            GemmParams.matmul(f"{prefix}.fc", 1, features, layer.weight.shape[1])
+        )
+        return (layer.weight.shape[1],)
+    if isinstance(layer, MaxPool2d):
+        h, w, c = shape
+        return (h // layer.size, w // layer.size, c)
+    if isinstance(layer, Flatten):
+        total = 1
+        for dim in shape:
+            total *= dim
+        return (total,)
+    if isinstance(layer, GlobalAvgPool):
+        return (shape[-1],)
+    # Shape-preserving layers (activations etc.).
+    return shape
+
+
+def _as_flat(shape: tuple[int, ...]) -> tuple[int]:
+    if len(shape) == 1:
+        return (shape[0],)
+    total = 1
+    for dim in shape:
+        total *= dim
+    return (total,)

@@ -1,0 +1,172 @@
+"""Quantised GEMM backends for whole-network accuracy evaluation (Fig. 9).
+
+Four computing schemes are compared, exactly as Section V-A defines them:
+
+- **FP32** — float32 reference (the original model);
+- **FXP-i-res(n)** — inputs quantised to n bits, exact products, 2n-bit
+  outputs (input-resolution fixed point);
+- **FXP-o-res(n)** — inputs quantised to ~n/2 bits each so the *output*
+  is n bits (output-resolution fixed point);
+- **uSystolic(n)** — the paper's HUB flow: N-bit inputs, unipolar uMUL
+  early-terminated to EBT n, binary accumulation, n-bit products restored
+  by the output shifter.
+
+The uSystolic backend here is *bit-exact* with the scalar kernel yet fully
+vectorised.  With Sobol C-BSG the product count is the closed form
+``count(a, b) = #{k < a : S_k < b}`` (the number of the first ``a`` Sobol
+values below ``b``), so a precomputed (2^m+1) x (2^m+1) table turns a whole
+GEMM into two gathers and a sum.  Rate and temporal coding produce the
+same counts (the enable-conditioned RNG sees the same index sequence),
+matching the paper's note that their accuracies coincide.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import functools
+
+import numpy as np
+
+from ..unary.rng import sobol_sequence
+
+__all__ = [
+    "QuantMode",
+    "QuantSpec",
+    "quantize_symmetric",
+    "gemm_fp32",
+    "gemm_fxp",
+    "gemm_usystolic",
+    "quantized_gemm",
+    "usystolic_count_table",
+]
+
+
+class QuantMode(enum.Enum):
+    """The Figure 9 computing schemes."""
+
+    FP32 = "fp32"
+    FXP_I_RES = "fxp-i-res"
+    FXP_O_RES = "fxp-o-res"
+    USYSTOLIC = "usystolic"
+
+
+@dataclasses.dataclass(frozen=True)
+class QuantSpec:
+    """One evaluation point: mode + effective bitwidth.
+
+    ``ebt`` follows the paper's x-axis (6..12); for FXP modes it is the
+    resolution parameter n of FXP-i-res / FXP-o-res.
+    """
+
+    mode: QuantMode
+    ebt: int = 8
+
+    @property
+    def label(self) -> str:
+        if self.mode is QuantMode.FP32:
+            return "FP32"
+        cycles = 1 << (self.ebt - 1)
+        if self.mode is QuantMode.USYSTOLIC:
+            return f"uSystolic {self.ebt}-{cycles}"
+        return f"{self.mode.value} n={self.ebt}"
+
+
+def quantize_symmetric(x: np.ndarray, bits: int) -> tuple[np.ndarray, float]:
+    """Symmetric per-tensor quantisation to ``bits``-bit sign-magnitude ints.
+
+    Returns (integer tensor, scale) with ``x ~= ints * scale``.  The range
+    excludes the most negative two's-complement value, matching the
+    hardware's sign-magnitude format.
+    """
+    if bits < 2:
+        raise ValueError(f"bits must be >= 2, got {bits}")
+    limit = (1 << (bits - 1)) - 1
+    max_abs = float(np.abs(x).max(initial=0.0))
+    if max_abs == 0.0:
+        return np.zeros_like(x, dtype=np.int64), 1.0
+    scale = max_abs / limit
+    ints = np.clip(np.round(x / scale), -limit, limit).astype(np.int64)
+    return ints, scale
+
+
+@functools.lru_cache(maxsize=None)
+def usystolic_count_table(mag_bits: int) -> np.ndarray:
+    """Exact uMUL count table: ``T[a, b] = #{k < a : S_k < b}``.
+
+    ``S`` is the Sobol sequence both the IFM stream generator and the
+    C-BSG weight RNG draw from.  Bit-identical to the scalar HUB kernel.
+    """
+    if mag_bits < 1:
+        raise ValueError(f"mag_bits must be >= 1, got {mag_bits}")
+    period = 1 << mag_bits
+    s = sobol_sequence(mag_bits, period)
+    # indicator[k, b] = 1 if S_k < b, for b in 0..period.
+    indicator = (s[:, None] < np.arange(period + 1)[None, :]).astype(np.int64)
+    table = np.zeros((period + 1, period + 1), dtype=np.int64)
+    table[1:] = np.cumsum(indicator, axis=0)
+    return table
+
+
+def gemm_fp32(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Reference float GEMM: (V, K) @ (K, OC)."""
+    return x.astype(np.float64) @ w.astype(np.float64)
+
+
+def gemm_fxp(
+    x: np.ndarray, w: np.ndarray, input_bits_x: int, input_bits_w: int
+) -> np.ndarray:
+    """Fixed-point GEMM with exact integer products, dequantised."""
+    xi, sx = quantize_symmetric(x, input_bits_x)
+    wi, sw = quantize_symmetric(w, input_bits_w)
+    return (xi @ wi).astype(np.float64) * (sx * sw)
+
+
+def gemm_usystolic(
+    x: np.ndarray, w: np.ndarray, bits: int = 8, ebt: int | None = None
+) -> np.ndarray:
+    """Bit-exact uSystolic GEMM: (V, K) @ (K, OC), dequantised.
+
+    Every product runs the HUB kernel at ``bits`` input resolution with
+    EBT ``ebt``; accumulation across K is exact binary addition.
+    """
+    if ebt is None:
+        ebt = bits
+    if not 2 <= ebt <= bits:
+        raise ValueError(f"ebt must be in [2, {bits}], got {ebt}")
+    xi, sx = quantize_symmetric(x, bits)
+    wi, sw = quantize_symmetric(w, bits)
+    shift = bits - ebt
+    mag_bits = ebt - 1
+    table = usystolic_count_table(mag_bits)
+    m_x = (np.abs(xi) >> shift).astype(np.int64)  # (V, K)
+    m_w = (np.abs(wi) >> shift).astype(np.int64)  # (K, OC)
+    sign = np.sign(xi)[:, :, None] * np.sign(wi)[None, :, :]  # (V, K, OC)
+    counts = table[m_x[:, :, None], m_w[None, :, :]]  # (V, K, OC)
+    # count -> n-bit product -> N-bit scale -> integer product scale.
+    prod_scale = float((1 << shift) * (1 << (bits - 1)))
+    acc = (sign * counts).sum(axis=1).astype(np.float64) * prod_scale
+    return acc * (sx * sw)
+
+
+def quantized_gemm(x: np.ndarray, w: np.ndarray, spec: QuantSpec) -> np.ndarray:
+    """Dispatch a (V, K) @ (K, OC) GEMM to the scheme of ``spec``.
+
+    For FXP-o-res with odd n the paper assigns ceil/floor halves to the
+    two operands "whichever produces higher accuracy"; we give the extra
+    bit to the weights (the lower-variance tensor in trained CNNs).
+    """
+    if x.ndim != 2 or w.ndim != 2 or x.shape[1] != w.shape[0]:
+        raise ValueError(f"incompatible GEMM shapes {x.shape} @ {w.shape}")
+    if spec.mode is QuantMode.FP32:
+        return gemm_fp32(x, w)
+    if spec.mode is QuantMode.FXP_I_RES:
+        return gemm_fxp(x, w, spec.ebt, spec.ebt)
+    if spec.mode is QuantMode.FXP_O_RES:
+        bits_x = spec.ebt // 2
+        bits_w = spec.ebt - bits_x
+        return gemm_fxp(x, w, max(bits_x, 2), max(bits_w, 2))
+    # Data bitwidth N follows the platforms (8 from Eyeriss, 16 from TPU);
+    # EBTs above 8 imply the 16-bit configuration.
+    bits = 8 if spec.ebt <= 8 else 16
+    return gemm_usystolic(x, w, bits=bits, ebt=spec.ebt)

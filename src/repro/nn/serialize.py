@@ -1,0 +1,69 @@
+"""Model weight serialization: save/load trained networks as ``.npz``.
+
+Training the Figure 9 models takes seconds, but a downstream user wants
+to train once and sweep quantisation many times; these helpers persist
+exactly the parameter tensors (in ``params_and_grads`` order) plus the
+BatchNorm running statistics.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .layers import BatchNorm, Layer, Residual, Sequential
+
+__all__ = ["save_model", "load_model"]
+
+
+def _batchnorms(layer: Layer) -> list[BatchNorm]:
+    if isinstance(layer, BatchNorm):
+        return [layer]
+    if isinstance(layer, Sequential):
+        out: list[BatchNorm] = []
+        for sub in layer.layers:
+            out.extend(_batchnorms(sub))
+        return out
+    if isinstance(layer, Residual):
+        return _batchnorms(layer.inner)
+    return []
+
+
+def save_model(model: Sequential, path: str | Path) -> None:
+    """Persist every parameter (and BN running stats) to ``path``."""
+    arrays: dict[str, np.ndarray] = {}
+    for i, (param, _) in enumerate(model.params_and_grads()):
+        arrays[f"param_{i}"] = param
+    for i, bn in enumerate(_batchnorms(model)):
+        arrays[f"bn_{i}_mean"] = bn.running_mean
+        arrays[f"bn_{i}_var"] = bn.running_var
+    np.savez(Path(path), **arrays)
+
+
+def load_model(model: Sequential, path: str | Path) -> Sequential:
+    """Load parameters saved by :func:`save_model` into ``model``.
+
+    The model must have the same architecture (parameter count/shapes) as
+    the one saved; mismatches raise.
+    """
+    data = np.load(Path(path))
+    pairs = model.params_and_grads()
+    saved = sorted(k for k in data.files if k.startswith("param_"))
+    if len(saved) != len(pairs):
+        raise ValueError(
+            f"checkpoint has {len(saved)} parameters, model has {len(pairs)}"
+        )
+    for i, (param, _) in enumerate(pairs):
+        stored = data[f"param_{i}"]
+        if stored.shape != param.shape:
+            raise ValueError(
+                f"parameter {i} shape mismatch: {stored.shape} vs {param.shape}"
+            )
+        param[...] = stored
+    for i, bn in enumerate(_batchnorms(model)):
+        key = f"bn_{i}_mean"
+        if key in data.files:
+            bn.running_mean[...] = data[key]
+            bn.running_var[...] = data[f"bn_{i}_var"]
+    return model

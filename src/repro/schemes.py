@@ -1,0 +1,66 @@
+"""Compute schemes evaluated by the paper (Section IV-C2).
+
+The enum is shared by the hardware cost models, the cycle simulator, the
+functional array models and the evaluation pipelines; it lives at package
+root so none of those subpackages depend on each other for it.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["ComputeScheme", "scheme_mac_cycles"]
+
+
+class ComputeScheme(enum.Enum):
+    """One systolic-array computing scheme, keyed by Figure 11's labels."""
+
+    BINARY_PARALLEL = "BP"
+    BINARY_SERIAL = "BS"
+    UGEMM_RATE = "UG"
+    USYSTOLIC_RATE = "UR"
+    USYSTOLIC_TEMPORAL = "UT"
+
+    @property
+    def is_unary(self) -> bool:
+        return self in (
+            ComputeScheme.UGEMM_RATE,
+            ComputeScheme.USYSTOLIC_RATE,
+            ComputeScheme.USYSTOLIC_TEMPORAL,
+        )
+
+    @property
+    def supports_early_termination(self) -> bool:
+        """Only rate coding can terminate early without accuracy collapse."""
+        return self in (ComputeScheme.UGEMM_RATE, ComputeScheme.USYSTOLIC_RATE)
+
+
+def scheme_mac_cycles(scheme: ComputeScheme, bits: int, ebt: int | None = None) -> int:
+    """MAC cycle count of one PE (multiplication cycles + 1 accumulation).
+
+    ``ebt`` is the effective bitwidth for early-terminable schemes; it
+    defaults to the full data bitwidth.  Cycle formulas:
+
+    - BP: 1 (single-cycle MAC, Figure 2);
+    - BS: bits + 1 (one serialized multiplier input [31], [56]);
+    - UR: 2**(ebt-1) + 1 (unipolar uMUL on sign-magnitude data);
+    - UG: 2**ebt + 1 (bipolar uMUL needs double-length streams);
+    - UT: 2**(bits-1) + 1 (temporal coding, no early termination).
+    """
+    if bits < 2:
+        raise ValueError(f"bits must be >= 2, got {bits}")
+    if ebt is None:
+        ebt = bits
+    if not 2 <= ebt <= bits:
+        raise ValueError(f"ebt must be in [2, {bits}], got {ebt}")
+    if ebt != bits and not scheme.supports_early_termination:
+        raise ValueError(f"{scheme.value} does not support early termination")
+    if scheme is ComputeScheme.BINARY_PARALLEL:
+        return 1
+    if scheme is ComputeScheme.BINARY_SERIAL:
+        return bits + 1
+    if scheme is ComputeScheme.USYSTOLIC_RATE:
+        return (1 << (ebt - 1)) + 1
+    if scheme is ComputeScheme.UGEMM_RATE:
+        return (1 << ebt) + 1
+    return (1 << (bits - 1)) + 1

@@ -1,0 +1,29 @@
+"""uSystolic-Sim: weight-stationary cycle/traffic simulator with contention."""
+
+from .cyclesim import CycleAccurateResult, simulate_fold
+from .dataflow import LayerSchedule, TileSchedule, schedule_layer, schedule_tile
+from .engine import simulate_layer, simulate_network
+from .results import EnergyLedger, LayerResult, aggregate_results
+from .tracegen import TraceEvent, bandwidth_histogram, generate_trace, trace_totals
+from .traffic import TrafficProfile, VariableTraffic, profile_traffic
+
+__all__ = [
+    "CycleAccurateResult",
+    "simulate_fold",
+    "TraceEvent",
+    "bandwidth_histogram",
+    "generate_trace",
+    "trace_totals",
+    "LayerSchedule",
+    "TileSchedule",
+    "schedule_layer",
+    "schedule_tile",
+    "simulate_layer",
+    "simulate_network",
+    "EnergyLedger",
+    "LayerResult",
+    "aggregate_results",
+    "TrafficProfile",
+    "VariableTraffic",
+    "profile_traffic",
+]

@@ -1,0 +1,129 @@
+"""Cycle-accurate golden model of one weight-stationary fold.
+
+The analytic schedule (:mod:`repro.sim.dataflow`) is closed-form; this
+module is its truth source: a register-level stepper that advances one
+cycle at a time through weight preload, skewed IFM streaming with
+``mac_cycles``-long PE occupancy and one-cycle column lag (the IDFF of
+Figure 7), and the partial-sum ripple out of the top row.  It returns both
+the computed partial sums (via the functional PE models, so results are
+bit-faithful) and the exact cycle count, and it *asserts* the structural
+invariants the closed form assumes (no PE overlap, one-cycle column lag).
+
+It is O(cycles x PEs), so it is for validation on small folds — the
+analytic model, once cross-checked, covers the big ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.pe import PeModel, make_pe
+from ..schemes import ComputeScheme
+
+__all__ = ["CycleAccurateResult", "simulate_fold"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CycleAccurateResult:
+    """Outcome of one register-level fold simulation."""
+
+    psums: np.ndarray
+    """(V, C) partial sums at integer product scale."""
+    total_cycles: int
+    preload_cycles: int
+    last_mac_finish: int
+    pe_busy_cycles: int
+    """Sum over PEs of occupied cycles (the utilization ground truth)."""
+
+
+def simulate_fold(
+    weights: np.ndarray,
+    vectors: np.ndarray,
+    scheme: ComputeScheme,
+    bits: int = 8,
+    ebt: int | None = None,
+    max_cycles: int = 5_000_000,
+) -> CycleAccurateResult:
+    """Step one (R x C) fold through the array cycle by cycle.
+
+    ``weights`` is (R, C) signed ints; ``vectors`` is (V, R) signed ints
+    (the im2col rows restricted to this fold).
+    """
+    weights = np.asarray(weights, dtype=np.int64)
+    vectors = np.asarray(vectors, dtype=np.int64)
+    if weights.ndim != 2 or vectors.ndim != 2 or vectors.shape[1] != weights.shape[0]:
+        raise ValueError(
+            f"incompatible shapes: weights {weights.shape}, vectors {vectors.shape}"
+        )
+    rows, cols = weights.shape
+    nvec = vectors.shape[0]
+    pe: PeModel = make_pe(scheme, bits, ebt)
+    mac = pe.mac_cycles
+
+    # --- phase 1: weight preload (one row enters per cycle, pipelined
+    # down; column c of a row arrives c cycles later).
+    preload = rows + cols - 1
+
+    # --- phase 2+3: streaming and drain, stepped cycle by cycle --------
+    # PE state: which vector it is working on and cycles remaining.
+    working = np.full((rows, cols), -1, dtype=np.int64)  # vector index
+    remaining = np.zeros((rows, cols), dtype=np.int64)
+    psums = np.zeros((nvec, cols), dtype=np.float64)
+    # products left before a (v, c) column sum is complete:
+    pending = np.full((nvec, cols), rows, dtype=np.int64)
+    # ripple bookkeeping: cycle at which each (v, c) finished its last MAC.
+    finish_cycle = np.zeros((nvec, cols), dtype=np.int64)
+    busy = 0
+    last_finish = 0
+    done_macs = 0
+    total_macs = rows * cols * nvec
+    cycle = preload
+    while done_macs < total_macs:
+        if cycle - preload > max_cycles:
+            raise RuntimeError("cycle limit exceeded — schedule deadlock?")
+        t = cycle - preload
+        # Launch: element (v, r) enters PE(r, 0) at t = v*mac + r, and
+        # PE(r, c) one cycle per column later (the IDFF lag).
+        for r in range(rows):
+            for c in range(cols):
+                start = 0 if nvec == 0 else None
+                v, rem = working[r, c], remaining[r, c]
+                if rem == 0:
+                    vnext = (t - r - c) // mac
+                    if (
+                        0 <= vnext < nvec
+                        and (t - r - c) % mac == 0
+                        and (t - r - c) >= 0
+                    ):
+                        if v >= vnext:
+                            raise RuntimeError("PE re-entered an old vector")
+                        working[r, c] = vnext
+                        remaining[r, c] = mac
+                # Advance.
+                if remaining[r, c] > 0:
+                    remaining[r, c] -= 1
+                    busy += 1
+                    if remaining[r, c] == 0:
+                        v = int(working[r, c])
+                        psums[v, c] += pe.multiply(
+                            int(weights[r, c]), int(vectors[v, r])
+                        )
+                        pending[v, c] -= 1
+                        done_macs += 1
+                        if pending[v, c] == 0:
+                            finish_cycle[v, c] = cycle + 1
+                            last_finish = max(last_finish, cycle + 1)
+        cycle += 1
+
+    # --- drain: the last column sum ripples up ``rows - 1`` hops and the
+    # skew empties; completion is the last finish plus the pipeline tail.
+    total = last_finish + (rows - 1)
+    return CycleAccurateResult(
+        psums=psums,
+        total_cycles=total,
+        preload_cycles=preload,
+        last_mac_finish=last_finish,
+        pe_busy_cycles=busy,
+    )

@@ -1,0 +1,104 @@
+"""The uSystolic-Sim engine: schedule + traffic + contention + energy.
+
+:func:`simulate_layer` runs one GEMM on one (array, memory) configuration
+and returns a :class:`LayerResult`.  The runtime model is phase-analytic:
+
+- compute cycles come from the closed-form weight-stationary schedule
+  (``dataflow``), which is exact for an unstalled array;
+- each memory level's minimum service time is its traffic divided by its
+  peak rate (per-variable SRAMs serve in parallel; DRAM is one channel);
+- double buffering overlaps memory with compute, so the layer runtime is
+  the *maximum* of the three times — when memory loses, the difference is
+  the contention overhead Section V-D reports.
+
+This is the memory-contention-aware scheduling the paper adds on top of
+SCALE-Sim, at the fidelity of average rates rather than per-beat DRAM
+timing (the shape-level behaviour — who stalls, by how much, and how
+stalls melt as MAC cycles grow — is preserved).
+"""
+
+from __future__ import annotations
+
+from ..core.config import ArrayConfig
+from ..gemm.params import GemmParams
+from ..gemm.tiling import tile_gemm
+from ..hw.array_cost import array_cost
+from ..hw.gates import TECH_32NM, TechNode
+from ..memory.hierarchy import VARIABLES, MemoryConfig
+from .dataflow import schedule_layer
+from .results import EnergyLedger, LayerResult
+from .traffic import profile_traffic
+
+__all__ = ["simulate_layer", "simulate_network"]
+
+# Streaming DRAM accesses mostly hit the open page; partial-sum round trips
+# alternate read/write and mostly miss.
+_DRAM_HIT_RATE_STREAM = 0.9
+_DRAM_HIT_RATE_PSUM = 0.4
+
+
+def simulate_layer(
+    params: GemmParams,
+    array: ArrayConfig,
+    memory: MemoryConfig,
+    tech: TechNode = TECH_32NM,
+) -> LayerResult:
+    """Simulate one GEMM layer; see module docstring for the model."""
+    tiling = tile_gemm(params, array.rows, array.cols)
+    sched = schedule_layer(tiling, array.mac_cycles)
+    traffic = profile_traffic(params, tiling, array.bits, memory)
+
+    # --- runtime with contention ---------------------------------------
+    dram_rate = memory.dram.effective_bandwidth_bytes_per_s / tech.frequency_hz
+    dram_cycles = traffic.dram_total / dram_rate
+    sram_cycles = 0.0
+    sram = memory.sram()
+    if sram is not None:
+        rate = sram.peak_bytes_per_cycle()
+        sram_cycles = max(
+            traffic.variable(name).sram_total / rate for name in VARIABLES
+        )
+    total_cycles = max(float(sched.compute_cycles), dram_cycles, sram_cycles)
+    runtime_s = total_cycles / tech.frequency_hz
+
+    # --- energy ledger ---------------------------------------------------
+    cost = array_cost(array.scheme, array.rows, array.cols, array.bits, tech=tech)
+    array_dynamic = cost.dynamic_energy_j(sched.active_pe_mac_cycles)
+    array_leakage = cost.leakage_w * runtime_s
+    sram_dynamic = 0.0
+    if sram is not None:
+        sram_dynamic = sram.access_energy_j(traffic.sram_read, traffic.sram_write)
+    sram_leakage = memory.total_sram_leakage_w() * runtime_s
+    psum_bytes = traffic.ofm.dram_total
+    stream_bytes = traffic.dram_total - psum_bytes
+    dram_dynamic = memory.dram.access_energy_j(
+        stream_bytes, hit_rate=_DRAM_HIT_RATE_STREAM
+    ) + memory.dram.access_energy_j(psum_bytes, hit_rate=_DRAM_HIT_RATE_PSUM)
+    energy = EnergyLedger(
+        array_dynamic=array_dynamic,
+        array_leakage=array_leakage,
+        sram_dynamic=sram_dynamic,
+        sram_leakage=sram_leakage,
+        dram_dynamic=dram_dynamic,
+    )
+    return LayerResult(
+        layer=params.name,
+        config_label=array.label + ("" if memory.has_sram else "-noSRAM"),
+        macs=params.macs,
+        compute_cycles=sched.compute_cycles,
+        total_cycles=total_cycles,
+        runtime_s=runtime_s,
+        utilization=tiling.utilization,
+        traffic=traffic,
+        energy=energy,
+    )
+
+
+def simulate_network(
+    layers: list[GemmParams],
+    array: ArrayConfig,
+    memory: MemoryConfig,
+    tech: TechNode = TECH_32NM,
+) -> list[LayerResult]:
+    """Simulate every layer of a network under one configuration."""
+    return [simulate_layer(layer, array, memory, tech=tech) for layer in layers]

@@ -1,0 +1,20 @@
+"""System-level models (Section V-H): battery, adaptive EBT, tiled arrays."""
+
+from .battery import Battery
+from .controller import (
+    AdaptiveEbtController,
+    StreamOutcome,
+    simulate_inference_stream,
+)
+from .tiled import Interconnect, ScalingPoint, TiledSystem, scaling_curve
+
+__all__ = [
+    "Battery",
+    "AdaptiveEbtController",
+    "StreamOutcome",
+    "simulate_inference_stream",
+    "Interconnect",
+    "ScalingPoint",
+    "TiledSystem",
+    "scaling_curve",
+]

@@ -1,0 +1,81 @@
+"""Unary-domain adders — the accumulation FSU architectures rely on.
+
+uSystolic's defining choice is to accumulate in *binary* (Section III-A);
+these are the unary alternatives it rejects, implemented bit-true so the
+comparison is measurable:
+
+- :func:`mux_add` — scaled addition: a K:1 mux samples one input stream
+  per cycle, so the output stream encodes ``mean(inputs)``.  Unbiased but
+  adds sampling variance, and the ``1/K`` scale costs dynamic range.
+- :func:`or_add` — OR-gate addition for sparse unipolar streams: cheap,
+  but saturates (``P_out = 1 - prod(1 - P_i)``) as soon as streams are
+  dense.
+- :func:`counter_add` — a parallel counter (popcount per cycle) feeding a
+  binary register: exact, and in fact the *boundary* between unary and
+  binary accumulation — uSystolic's OREG is the 1-input special case.
+
+The FSU model (:mod:`repro.fsu`) composes :func:`mux_add` after bipolar
+uMULs to reproduce the accuracy loss of unary-domain GEMM accumulation
+that Table I and Section II-B4a describe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitstream import Bitstream, Polarity
+from .rng import LfsrSequence, NumberSequence
+
+__all__ = ["mux_add", "or_add", "counter_add"]
+
+
+def _stack(streams: list[Bitstream]) -> np.ndarray:
+    if not streams:
+        raise ValueError("need at least one input stream")
+    length = len(streams[0])
+    if any(len(s) != length for s in streams):
+        raise ValueError("all input streams must have equal length")
+    return np.stack([s.bits for s in streams])
+
+
+def mux_add(
+    streams: list[Bitstream],
+    select_sequence: NumberSequence | None = None,
+    polarity: Polarity = Polarity.BIPOLAR,
+) -> Bitstream:
+    """Scaled addition: output value is ``mean(input values)``.
+
+    The default select sequence is an LFSR: its pseudo-random order is
+    decorrelated from the Sobol/counter patterns of the input streams
+    (a regular alternating select would lock onto periodic streams and
+    bias the sample badly — the SCC hazard again, now at the adder).
+    """
+    bits = _stack(streams)
+    k, length = bits.shape
+    if select_sequence is None:
+        sel_bits = max(3, (k - 1).bit_length())
+        select_sequence = LfsrSequence(sel_bits)
+    sel = select_sequence.values(length) % k
+    out = bits[sel, np.arange(length)]
+    return Bitstream(out.astype(np.uint8), polarity=polarity)
+
+
+def or_add(streams: list[Bitstream]) -> Bitstream:
+    """OR-gate addition of unipolar streams (saturating)."""
+    bits = _stack(streams)
+    for s in streams:
+        if s.polarity is not Polarity.UNIPOLAR:
+            raise ValueError("OR addition is only defined for unipolar streams")
+    out = (bits.max(axis=0) > 0).astype(np.uint8)
+    return Bitstream(out, polarity=Polarity.UNIPOLAR)
+
+
+def counter_add(streams: list[Bitstream]) -> int:
+    """Parallel-counter addition: exact popcount over all streams.
+
+    Returns the integer sum of 1 bits — the value a binary accumulator
+    holds after the streams end.  This is the HUB boundary: the result is
+    no longer a bitstream.
+    """
+    bits = _stack(streams)
+    return int(bits.sum())

@@ -1,0 +1,168 @@
+"""Unary bitstream representation and generation (Figure 3 of the paper).
+
+A unary bitstream encodes a value in the *probability* of 1 bits.  Two
+codings exist:
+
+- **rate coding** — bits appear in pseudo-random order (comparison against an
+  RNG sequence);
+- **temporal coding** — all 1 bits are contiguous (comparison against a
+  counter), i.e. a thermometer code.
+
+Two polarities map probabilities to values:
+
+- **unipolar** — ``value = P`` (unsigned, in [0, 1]);
+- **bipolar** — ``value = 2 P - 1`` (signed, in [-1, 1]).
+
+uSystolic operates on *unipolar* streams of the magnitude in sign-magnitude
+format; the uGEMM-H baseline uses *bipolar* streams of the signed value.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+import numpy as np
+
+from .rng import CounterSequence, NumberSequence, SobolSequence
+
+__all__ = [
+    "Coding",
+    "Polarity",
+    "Bitstream",
+    "BitstreamGenerator",
+    "quantize_unipolar",
+    "quantize_bipolar",
+]
+
+
+class Coding(enum.Enum):
+    """Bit ordering of a unary stream."""
+
+    RATE = "rate"
+    TEMPORAL = "temporal"
+
+
+class Polarity(enum.Enum):
+    """Value mapping of a unary stream."""
+
+    UNIPOLAR = "unipolar"
+    BIPOLAR = "bipolar"
+
+
+def quantize_unipolar(value: float, bits: int) -> int:
+    """Map ``value`` in [0, 1] to the integer numerator over ``2**bits``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"unipolar value must be in [0, 1], got {value}")
+    return int(round(value * (1 << bits)))
+
+
+def quantize_bipolar(value: float, bits: int) -> int:
+    """Map ``value`` in [-1, 1] to the integer numerator of P = (v+1)/2."""
+    if not -1.0 <= value <= 1.0:
+        raise ValueError(f"bipolar value must be in [-1, 1], got {value}")
+    return int(round((value + 1.0) / 2.0 * (1 << bits)))
+
+
+@dataclasses.dataclass(frozen=True)
+class Bitstream:
+    """An immutable unary bitstream with its interpretation attached."""
+
+    bits: np.ndarray
+    polarity: Polarity = Polarity.UNIPOLAR
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.bits, dtype=np.uint8)
+        if arr.ndim != 1:
+            raise ValueError("a bitstream must be one-dimensional")
+        if arr.size and arr.max() > 1:
+            raise ValueError("bitstream elements must be 0 or 1")
+        object.__setattr__(self, "bits", arr)
+
+    def __len__(self) -> int:
+        return int(self.bits.size)
+
+    @property
+    def probability(self) -> float:
+        """Fraction of 1 bits."""
+        if not len(self):
+            return 0.0
+        return float(self.bits.mean())
+
+    @property
+    def value(self) -> float:
+        """Decoded value under this stream's polarity."""
+        p = self.probability
+        if self.polarity is Polarity.UNIPOLAR:
+            return p
+        return 2.0 * p - 1.0
+
+    def prefix_value(self, length: int) -> float:
+        """Decoded value of the first ``length`` bits (early termination)."""
+        if not 1 <= length <= len(self):
+            raise ValueError(f"prefix length {length} out of range 1..{len(self)}")
+        p = float(self.bits[:length].mean())
+        if self.polarity is Polarity.UNIPOLAR:
+            return p
+        return 2.0 * p - 1.0
+
+
+class BitstreamGenerator:
+    """BSG block: compares a stationary source value against a sequence.
+
+    ``bits`` sets the stream resolution: the natural stream length is
+    ``2**bits`` and source values are integers in ``[0, 2**bits]``.
+    """
+
+    def __init__(
+        self,
+        bits: int,
+        coding: Coding = Coding.RATE,
+        sequence: NumberSequence | None = None,
+    ) -> None:
+        if bits < 1:
+            raise ValueError(f"bits must be >= 1, got {bits}")
+        self.bits = bits
+        self.coding = coding
+        if sequence is None:
+            if coding is Coding.RATE:
+                sequence = SobolSequence(bits)
+            else:
+                sequence = CounterSequence(bits)
+        self.sequence = sequence
+
+    @property
+    def length(self) -> int:
+        """Natural (full-resolution) stream length."""
+        return 1 << self.bits
+
+    def generate(
+        self,
+        source: int,
+        length: int | None = None,
+        polarity: Polarity = Polarity.UNIPOLAR,
+        offset: int = 0,
+    ) -> Bitstream:
+        """Generate a stream whose probability of 1s is ``source / 2**bits``."""
+        if length is None:
+            length = self.length
+        if not 0 <= source <= self.length:
+            raise ValueError(
+                f"source must be within [0, {self.length}], got {source}"
+            )
+        seq = self.sequence.values(length, offset=offset)
+        bits = (seq < source).astype(np.uint8)
+        return Bitstream(bits, polarity=polarity)
+
+    def generate_float(
+        self,
+        value: float,
+        length: int | None = None,
+        polarity: Polarity = Polarity.UNIPOLAR,
+    ) -> Bitstream:
+        """Quantise a float to this resolution and generate its stream."""
+        if polarity is Polarity.UNIPOLAR:
+            source = quantize_unipolar(value, self.bits)
+        else:
+            source = quantize_bipolar(value, self.bits)
+        return self.generate(source, length=length, polarity=polarity)

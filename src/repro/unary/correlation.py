@@ -1,0 +1,49 @@
+"""Stochastic cross correlation (SCC) between unary bitstreams.
+
+SCC (Alaghi & Hayes [2]) measures the bit-level similarity of two streams.
+Accurate unary multiplication requires SCC = 0 (Equation 1 of the paper):
+the streams must be statistically independent.  uSystolic enforces this
+through conditional bitstream generation (C-BSG) and preserves it across
+columns through the one-cycle lag of the spatial-temporal reuse
+(Equations 2-4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitstream import Bitstream
+
+__all__ = ["scc", "scc_bits"]
+
+
+def scc_bits(x: np.ndarray, y: np.ndarray) -> float:
+    """SCC of two equal-length 0/1 arrays.
+
+    Returns a value in [-1, 1]: +1 for maximally overlapped streams, -1 for
+    maximally disjoint ones, 0 for statistically independent ones.  Defined
+    as 0 when either stream is constant (the normaliser vanishes).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("SCC needs two equal-length one-dimensional streams")
+    n = x.size
+    if n == 0:
+        return 0.0
+    p_x = x.mean()
+    p_y = y.mean()
+    p_xy = float((x * y).mean())
+    delta = p_xy - p_x * p_y
+    if delta > 0:
+        denom = min(p_x, p_y) - p_x * p_y
+    else:
+        denom = p_x * p_y - max(p_x + p_y - 1.0, 0.0)
+    if denom <= 1e-12:
+        return 0.0
+    return float(delta / denom)
+
+
+def scc(a: Bitstream, b: Bitstream) -> float:
+    """SCC of two :class:`Bitstream` objects."""
+    return scc_bits(a.bits, b.bits)

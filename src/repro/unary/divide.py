@@ -1,0 +1,98 @@
+"""In-stream unary division and square root via correlation ([71]).
+
+The paper's accurate-multiplication story rests on *zero* cross
+correlation; division inverts the trick: with *maximal* positive
+correlation (SCC = +1, both streams drawn from one RNG), the quotient
+``P_a / P_b`` is computable in stream by a correlated divider (CORDIV):
+
+    q_t = a_t          when b_t = 1
+    q_t = q_{t-1}      when b_t = 0   (a 1-bit hold register)
+
+Since ``a_t <= b_t`` wherever both compare against the same RNG value
+(for a <= b), sampling ``a`` on ``b``'s 1-cycles estimates ``P_a / P_b``.
+Square root closes the same structure in feedback: the emitted output
+stream is fed back as the divisor, settling at ``P_y = P_x / P_y``.
+
+These are extension operators of the unary substrate (the paper's system
+needs only uMUL); they are exercised by tests and the ablation bench as
+evidence that the substrate is a complete stochastic-computing toolkit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitstream import Bitstream, Polarity
+from .rng import NumberSequence, SobolSequence
+
+__all__ = ["cordiv", "insqrt"]
+
+
+def cordiv(
+    dividend: int,
+    divisor: int,
+    bits: int,
+    sequence: NumberSequence | None = None,
+) -> Bitstream:
+    """Correlated in-stream division: returns the ``P_a / P_b`` stream.
+
+    ``dividend`` and ``divisor`` are unipolar numerators over ``2**bits``
+    with ``0 <= dividend <= divisor``; the divisor must be nonzero.
+    """
+    full = 1 << bits
+    if not 0 <= dividend <= full or not 0 < divisor <= full:
+        raise ValueError(
+            f"need 0 <= dividend <= {full} and 0 < divisor <= {full}"
+        )
+    if dividend > divisor:
+        raise ValueError("unipolar quotient requires dividend <= divisor")
+    if sequence is None:
+        sequence = SobolSequence(bits)
+    rng = sequence.values(full)
+    a = (rng < dividend).astype(np.uint8)  # maximally correlated pair:
+    b = (rng < divisor).astype(np.uint8)  # same RNG values => SCC = +1
+    out = np.empty(full, dtype=np.uint8)
+    hold = 0
+    for t in range(full):
+        if b[t]:
+            hold = int(a[t])
+        out[t] = hold
+    return Bitstream(out, polarity=Polarity.UNIPOLAR)
+
+
+def insqrt(
+    value: int,
+    bits: int,
+    sequence: NumberSequence | None = None,
+    warmup_periods: int = 2,
+) -> Bitstream:
+    """In-stream square root by divider feedback: ``P_y -> sqrt(P_x)``.
+
+    The output stream is regenerated from its own running probability and
+    used as the divisor, so the loop settles at ``P_y = P_x / P_y``.
+    ``warmup_periods`` extra periods let the feedback converge before the
+    reported period is emitted.
+    """
+    full = 1 << bits
+    if not 0 <= value <= full:
+        raise ValueError(f"value must be within [0, {full}]")
+    if sequence is None:
+        sequence = SobolSequence(bits)
+    total = (warmup_periods + 1) * full
+    rng = sequence.values(total)
+    x = (rng < value).astype(np.uint8)
+    out = np.empty(total, dtype=np.uint8)
+    hold = 1
+    ones = 1  # optimistic prior keeps the divisor nonzero at start-up
+    seen = 1
+    for t in range(total):
+        # Regenerate the feedback divisor from the running output
+        # probability against the shared RNG (keeps SCC = +1 with x).
+        y_est = int(round(ones / seen * full))
+        b = 1 if rng[t] < max(y_est, 1) else 0
+        if b:
+            hold = int(x[t])
+        out[t] = hold
+        ones += int(out[t])
+        seen += 1
+    return Bitstream(out[-full:], polarity=Polarity.UNIPOLAR)

@@ -1,0 +1,186 @@
+"""Hybrid unary-binary (HUB) multiply-accumulate, the uSystolic PE kernel.
+
+Section III-A: an N-bit signed weight and N-bit signed IFM are converted to
+sign-magnitude form.  The two (N-1)-bit magnitudes are multiplied by the
+unipolar uMUL over ``2**(N-1)`` cycles; each product bit is accumulated into
+a binary register (OREG) with the sign given by ``WSIGN XOR ISIGN``.  The
+accumulated count is the product scaled by ``2**(N-1)``, so the
+binary-unary-binary flow keeps an N-bit resolution end to end — the OREG can
+be N bits *smaller* than in a binary design (reduced-resolution
+accumulation).
+
+Early termination (Section III-C): accumulating only ``2**(n-1)`` bits
+yields an n-bit product that must be left-shifted by ``N - n`` to restore
+scale; the shifter sits once per column at the array's top row.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .bitstream import Coding
+from .multiply import umul_unipolar
+from .rng import NumberSequence, SobolSequence
+
+__all__ = [
+    "sign_magnitude",
+    "from_sign_magnitude",
+    "HubMac",
+    "MacResult",
+    "mac_cycles",
+    "hub_dot",
+]
+
+
+def sign_magnitude(value: int, bits: int) -> tuple[int, int]:
+    """Split an N-bit signed integer into (sign, magnitude).
+
+    ``sign`` is 0 for non-negative, 1 for negative; ``magnitude`` fits in
+    ``bits - 1`` bits.  The most negative two's-complement value has no
+    sign-magnitude representation and is rejected, mirroring the hardware.
+    """
+    limit = 1 << (bits - 1)
+    if not -limit + 1 <= value <= limit - 1:
+        raise ValueError(
+            f"value {value} outside sign-magnitude range of {bits} bits"
+        )
+    return (1 if value < 0 else 0), abs(value)
+
+
+def from_sign_magnitude(sign: int, magnitude: int) -> int:
+    """Inverse of :func:`sign_magnitude`."""
+    return -magnitude if sign else magnitude
+
+
+def mac_cycles(ebt: int) -> int:
+    """MAC cycle count for effective bitwidth ``ebt``: ``2**(ebt-1) + 1``.
+
+    The +1 is the single binary accumulation cycle that folds the partial
+    sum from the PE below once M-end asserts (Section III-A).
+    """
+    if ebt < 1:
+        raise ValueError(f"effective bitwidth must be >= 1, got {ebt}")
+    return (1 << (ebt - 1)) + 1
+
+
+@dataclasses.dataclass(frozen=True)
+class MacResult:
+    """One HUB multiply result before and after early-termination rescale."""
+
+    raw_count: int
+    """Signed accumulated bit count (the n-bit product)."""
+    product: int
+    """``raw_count`` left-shifted back to N-bit scale."""
+    cycles: int
+    """Unary multiplication cycles spent (excludes the +1 accumulate)."""
+
+
+class HubMac:
+    """Bit-true uSystolic MAC on N-bit signed operands.
+
+    Parameters
+    ----------
+    bits:
+        Data bitwidth N (magnitudes are N-1 bits).
+    ebt:
+        Effective bitwidth n, ``1 <= n <= N``.  ``n == N`` disables early
+        termination.
+    coding:
+        IFM stream coding; weights are always rate coded (Section III-A).
+    """
+
+    def __init__(
+        self,
+        bits: int,
+        ebt: int | None = None,
+        coding: Coding = Coding.RATE,
+        stream_sequence: NumberSequence | None = None,
+        weight_sequence: NumberSequence | None = None,
+    ) -> None:
+        if bits < 2:
+            raise ValueError(f"bits must be >= 2, got {bits}")
+        if ebt is None:
+            ebt = bits
+        if not 2 <= ebt <= bits:
+            raise ValueError(f"ebt must be in [2, {bits}], got {ebt}")
+        if ebt != bits and coding is Coding.TEMPORAL:
+            raise ValueError(
+                "temporal coding admits no early termination (Section II-B3)"
+            )
+        self.bits = bits
+        self.ebt = ebt
+        self.coding = coding
+        self.mag_bits = bits - 1
+        self.mul_cycles = 1 << (ebt - 1)
+        # Sequences compare against (ebt-1)-bit magnitudes: under early
+        # termination the comparators effectively see only the top bits.
+        self._stream_sequence = stream_sequence
+        self._weight_sequence = weight_sequence or SobolSequence(ebt - 1)
+
+    @property
+    def cycles(self) -> int:
+        """Total MAC cycle count including the accumulation cycle."""
+        return self.mul_cycles + 1
+
+    def multiply(self, weight: int, ifm: int) -> MacResult:
+        """Bit-true signed multiply of two N-bit values.
+
+        Returns the product at N-bit output resolution, i.e. an
+        approximation of ``round(weight * ifm / 2**(N-1))`` scaled back by
+        the early-termination shifter.
+        """
+        wsign, wmag = sign_magnitude(weight, self.bits)
+        isign, imag = sign_magnitude(ifm, self.bits)
+        # Early termination truncates the stream: the streaming magnitude is
+        # interpreted at n-1 bits, i.e. its top n-1 bits drive the comparison
+        # against an (n-1)-bit sequence.  Equivalent hardware view: the
+        # comparator only consumes the MSBs once the counter stops early.
+        shift = self.mag_bits - (self.ebt - 1)
+        result = umul_unipolar(
+            imag >> shift,
+            wmag >> shift,
+            self.ebt - 1,
+            coding=self.coding,
+            cycles=self.mul_cycles,
+            stream_sequence=self._stream_sequence,
+            weight_sequence=self._weight_sequence,
+        )
+        count = result.count
+        signed_count = -count if (wsign ^ isign) else count
+        # The count approximates mag_w * mag_i / 2**(N-1) already truncated
+        # to n bits; scale from n-bit back to N-bit resolution (left shift
+        # by N - n, Section III-C).
+        product = signed_count << (self.bits - self.ebt)
+        return MacResult(raw_count=signed_count, product=product, cycles=result.cycles)
+
+    def mac(self, weight: int, ifm: int, partial_sum: int) -> int:
+        """One full MAC: multiply then binary-accumulate the partial sum."""
+        return partial_sum + self.multiply(weight, ifm).product
+
+
+def hub_dot(
+    weights: np.ndarray,
+    ifms: np.ndarray,
+    bits: int,
+    ebt: int | None = None,
+    coding: Coding = Coding.RATE,
+) -> int:
+    """Bit-true HUB dot product: the reduction a uSystolic column performs.
+
+    Every product is computed by the unary kernel; the reduction itself is
+    exact binary addition (the accuracy guarantee of HUB computing versus
+    unary-domain accumulation in FSU designs).  The result approximates
+    ``round(dot(weights, ifms) / 2**(bits-1))`` — the N-bit OFM resolution
+    the paper's binary-unary-binary flow maintains end to end.
+    """
+    weights = np.asarray(weights)
+    ifms = np.asarray(ifms)
+    if weights.shape != ifms.shape or weights.ndim != 1:
+        raise ValueError("weights and ifms must be equal-length vectors")
+    mac = HubMac(bits, ebt=ebt, coding=coding)
+    total = 0
+    for w, x in zip(weights.tolist(), ifms.tolist()):
+        total = mac.mac(int(w), int(x), total)
+    return total

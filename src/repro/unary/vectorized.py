@@ -1,0 +1,82 @@
+"""Vectorised HUB MAC kernels for whole-row computation.
+
+uSystolic's spatial-temporal bitstream reuse (Section III-B) means every PE
+in a row consumes the *same* IFM bitstream and the *same* weight RNG
+sequence (one cycle more delayed per column, which leaves the bit pairing
+— and therefore the product counts — identical to the leftmost PE's).
+That sharing is what makes a vectorised kernel possible: one enable stream
+and one RNG sequence serve all C columns at once.
+
+:func:`hub_mac_row` is bit-identical to running :class:`~repro.unary.mac.
+HubMac` per element with default sequences (a property test asserts this).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitstream import Coding
+from .rng import CounterSequence, SobolSequence
+
+__all__ = ["hub_mac_row"]
+
+_SEQ_CACHE: dict[tuple[str, int], np.ndarray] = {}
+
+
+def _sequence(kind: str, bits: int) -> np.ndarray:
+    key = (kind, bits)
+    if key not in _SEQ_CACHE:
+        if kind == "sobol":
+            _SEQ_CACHE[key] = SobolSequence(bits).values(1 << bits)
+        else:
+            _SEQ_CACHE[key] = CounterSequence(bits).values(1 << bits)
+    return _SEQ_CACHE[key]
+
+
+def hub_mac_row(
+    ifm: int,
+    weights: np.ndarray,
+    bits: int,
+    ebt: int | None = None,
+    coding: Coding = Coding.RATE,
+) -> np.ndarray:
+    """Products of one signed IFM value with a row of signed weights.
+
+    Returns float products at integer scale (``~ ifm * w``), exactly as the
+    bit-true HUB MAC computes them: unipolar uMUL on the shared bitstream,
+    sign via XOR, early termination at ``2**(ebt-1)`` cycles with the
+    ``2**(bits-ebt)`` left-shift restore.
+    """
+    if ebt is None:
+        ebt = bits
+    if not 2 <= ebt <= bits:
+        raise ValueError(f"ebt must be in [2, {bits}], got {ebt}")
+    if ebt != bits and coding is Coding.TEMPORAL:
+        raise ValueError("temporal coding admits no early termination")
+    weights = np.asarray(weights, dtype=np.int64)
+    limit = 1 << (bits - 1)
+    if abs(ifm) >= limit or np.abs(weights).max(initial=0) >= limit:
+        raise ValueError(f"operands must be {bits}-bit sign-magnitude values")
+
+    mag_bits = ebt - 1
+    cycles = 1 << mag_bits
+    shift = (bits - 1) - mag_bits
+    isign = 1 if ifm < 0 else 0
+    imag = abs(ifm) >> shift
+    wsigns = (weights < 0).astype(np.int64)
+    wmags = np.abs(weights) >> shift
+
+    stream_seq = _sequence("sobol" if coding is Coding.RATE else "counter", mag_bits)
+    enable = (stream_seq[:cycles] < imag).astype(np.int64)
+    # C-BSG: the weight RNG advances only on enabled cycles.
+    advance = np.concatenate(([0], np.cumsum(enable)[:-1]))
+    rng = _sequence("sobol", mag_bits)
+    rvals = rng[advance % cycles]
+    # counts[c] = sum_t enable[t] * (rvals[t] < wmag[c])
+    hits = (rvals[:, None] < wmags[None, :]) & (enable[:, None] == 1)
+    counts = hits.sum(axis=0).astype(np.int64)
+    signs = np.where((wsigns ^ isign) == 1, -1, 1)
+    # n-bit product -> N-bit resolution -> integer product scale.
+    return (signs * counts).astype(np.float64) * float(
+        (1 << (bits - ebt)) * (1 << (bits - 1))
+    )

@@ -1,0 +1,72 @@
+"""Layer shapes of the paper's other two accuracy CNNs (Section IV-C1).
+
+Figure 9 evaluates three networks; only AlexNet gets the layerwise
+hardware treatment, but the 4-layer MNIST CNN (1.2M parameters) and
+ResNet18 for CIFAR10 (11.7M parameters) are part of the workload story
+and are provided here as simulatable GEMM lists.
+"""
+
+from __future__ import annotations
+
+from ..gemm.params import GemmParams
+
+__all__ = ["mnist_cnn_layers", "resnet18_layers"]
+
+
+def mnist_cnn_layers() -> list[GemmParams]:
+    """The paper's small 4-layer CNN: 2 conv + 2 FC, ~1.2M parameters."""
+    return [
+        GemmParams("M-Conv1", ih=30, iw=30, ic=1, wh=3, ww=3, oc=32),
+        GemmParams("M-Conv2", ih=16, iw=16, ic=32, wh=3, ww=3, oc=64),
+        GemmParams.matmul("M-FC1", rows=1, inner=7 * 7 * 64, cols=384),
+        GemmParams.matmul("M-FC2", rows=1, inner=384, cols=10),
+    ]
+
+
+def resnet18_layers() -> list[GemmParams]:
+    """ResNet18 for 32x32 CIFAR10 inputs, ~11.7M parameters.
+
+    Four stages of two basic blocks (two 3x3 convs each) plus the strided
+    downsample 1x1s and the classifier FC.
+    """
+    layers = [GemmParams("R18-conv1", ih=34, iw=34, ic=3, wh=3, ww=3, oc=64)]
+    stages = [
+        ("2", 32, 64, 64),
+        ("3", 16, 64, 128),
+        ("4", 8, 128, 256),
+        ("5", 4, 256, 512),
+    ]
+    for stage, size, ic, oc in stages:
+        for b in range(2):
+            in_ch = ic if b == 0 else oc
+            prefix = f"R18-{stage}{chr(ord('a') + b)}"
+            layers.append(
+                GemmParams(
+                    f"{prefix}-conv1",
+                    ih=size + 2,
+                    iw=size + 2,
+                    ic=in_ch,
+                    wh=3,
+                    ww=3,
+                    oc=oc,
+                )
+            )
+            layers.append(
+                GemmParams(
+                    f"{prefix}-conv2",
+                    ih=size + 2,
+                    iw=size + 2,
+                    ic=oc,
+                    wh=3,
+                    ww=3,
+                    oc=oc,
+                )
+            )
+            if b == 0 and in_ch != oc:
+                layers.append(
+                    GemmParams(
+                        f"{prefix}-down", ih=size, iw=size, ic=in_ch, wh=1, ww=1, oc=oc
+                    )
+                )
+    layers.append(GemmParams.matmul("R18-fc", rows=1, inner=512, cols=10))
+    return layers

@@ -1,0 +1,12 @@
+"""Shared test configuration."""
+
+from hypothesis import HealthCheck, settings
+
+# Simulation-backed properties have per-example costs that vary with the
+# drawn GEMM shape; wall-clock deadlines would flake without this profile.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

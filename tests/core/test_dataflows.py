@@ -1,0 +1,78 @@
+"""Tests for dataflow alternatives and the footnote-1 compatibility rule."""
+
+import pytest
+
+from repro.core.dataflows import (
+    Dataflow,
+    cbsg_compatible,
+    dataflow_cycles,
+    stationary_operand,
+)
+from repro.gemm.params import GemmParams
+from repro.gemm.tiling import tile_gemm
+from repro.schemes import ComputeScheme as CS
+from repro.sim.dataflow import schedule_layer
+
+CONV = GemmParams("c", ih=10, iw=10, ic=8, wh=3, ww=3, oc=20)
+FC = GemmParams.matmul("fc", rows=1, inner=1024, cols=256)
+
+
+class TestCompatibility:
+    def test_footnote1_rule(self):
+        assert cbsg_compatible(Dataflow.WEIGHT_STATIONARY)
+        assert cbsg_compatible(Dataflow.INPUT_STATIONARY)
+        assert not cbsg_compatible(Dataflow.OUTPUT_STATIONARY)
+
+    def test_stationary_operand(self):
+        assert stationary_operand(Dataflow.WEIGHT_STATIONARY) == "weight"
+        assert stationary_operand(Dataflow.INPUT_STATIONARY) == "ifm"
+        assert stationary_operand(Dataflow.OUTPUT_STATIONARY) is None
+
+    def test_os_rejected_for_unary(self):
+        with pytest.raises(ValueError):
+            dataflow_cycles(
+                CONV, 12, 14, Dataflow.OUTPUT_STATIONARY, CS.USYSTOLIC_RATE, ebt=6
+            )
+
+    def test_os_allowed_for_binary(self):
+        cycles = dataflow_cycles(
+            CONV, 12, 14, Dataflow.OUTPUT_STATIONARY, CS.BINARY_PARALLEL
+        )
+        assert cycles > 0
+
+
+class TestCycleModels:
+    def test_ws_matches_main_schedule(self):
+        # The WS formula must agree with the full schedule for uniform
+        # folds (same preload-per-fold, stream, single drain accounting is
+        # within one drain of the fold-overlap model).
+        cycles = dataflow_cycles(
+            CONV, 12, 14, Dataflow.WEIGHT_STATIONARY, CS.USYSTOLIC_RATE, ebt=6
+        )
+        sched = schedule_layer(tile_gemm(CONV, 12, 14), 33)
+        # dataflow_cycles uses full-size preload per fold; the schedule
+        # uses per-tile (possibly partial) dimensions — equal here because
+        # we compare totals within the partial-tile preload slack.
+        assert cycles == pytest.approx(sched.compute_cycles, rel=0.02)
+
+    def test_streaming_the_smaller_dimension_wins(self):
+        # With mac-cycle-long streaming, the better stationary choice
+        # streams the smaller of (V, OC): WS streams V, IS streams OC.
+        # FC layers (V = 1 << OC) favour WS decisively...
+        ws = dataflow_cycles(FC, 12, 14, Dataflow.WEIGHT_STATIONARY, CS.USYSTOLIC_RATE, ebt=6)
+        is_ = dataflow_cycles(FC, 12, 14, Dataflow.INPUT_STATIONARY, CS.USYSTOLIC_RATE, ebt=6)
+        assert ws < is_ / 5
+
+    def test_is_can_win_on_wide_convolutions(self):
+        # ... while a convolution with V (=64) > OC (=20) mildly favours
+        # IS.  The paper still fixes WS for TPU compatibility — the
+        # generalizability argument is about scheduling, not optimality.
+        ws = dataflow_cycles(CONV, 12, 14, Dataflow.WEIGHT_STATIONARY, CS.USYSTOLIC_RATE, ebt=6)
+        is_ = dataflow_cycles(CONV, 12, 14, Dataflow.INPUT_STATIONARY, CS.USYSTOLIC_RATE, ebt=6)
+        assert is_ < ws
+
+    def test_mac_cycles_scale_all_dataflows(self):
+        for df in (Dataflow.WEIGHT_STATIONARY, Dataflow.INPUT_STATIONARY):
+            fast = dataflow_cycles(CONV, 12, 14, df, CS.USYSTOLIC_RATE, ebt=6)
+            slow = dataflow_cycles(CONV, 12, 14, df, CS.USYSTOLIC_RATE, ebt=8)
+            assert slow > 3 * fast

@@ -1,0 +1,118 @@
+"""Tests for the scheduler (legacy-binary order) and the ISA layer."""
+
+import pytest
+
+from repro.core.config import ArrayConfig
+from repro.core.isa import (
+    FLAG_EARLY_TERMINATED,
+    Instruction,
+    Opcode,
+    assemble,
+    build_program,
+    decode,
+)
+from repro.core.scheduler import OpKind, build_schedule
+from repro.gemm.params import GemmParams
+from repro.schemes import ComputeScheme as CS
+
+PARAMS = GemmParams("c", ih=10, iw=10, ic=8, wh=3, ww=3, oc=20)
+
+
+class TestScheduler:
+    def test_op_sequence_per_tile(self):
+        cfg = ArrayConfig(12, 14, CS.BINARY_PARALLEL)
+        sched = build_schedule(PARAMS, cfg)
+        kinds = [op.kind for op in sched.ops[:3]]
+        assert kinds == [OpKind.LOAD_WEIGHTS, OpKind.STREAM_IFM, OpKind.DRAIN_OFM]
+
+    def test_scheduling_order_identical_across_schemes(self):
+        # The Table I generalizability property: uSystolic's data
+        # scheduling order equals the binary array's; only timing shifts.
+        base = ArrayConfig(12, 14, CS.BINARY_PARALLEL)
+        orders = []
+        for scheme, ebt in [
+            (CS.BINARY_PARALLEL, None),
+            (CS.BINARY_SERIAL, None),
+            (CS.USYSTOLIC_RATE, 6),
+            (CS.USYSTOLIC_TEMPORAL, None),
+            (CS.UGEMM_RATE, None),
+        ]:
+            sched = build_schedule(PARAMS, base.with_scheme(scheme, ebt=ebt))
+            orders.append(sched.order)
+        assert all(o == orders[0] for o in orders)
+
+    def test_unary_timestamps_stretched(self):
+        bp = build_schedule(PARAMS, ArrayConfig(12, 14, CS.BINARY_PARALLEL))
+        ur = build_schedule(PARAMS, ArrayConfig(12, 14, CS.USYSTOLIC_RATE, ebt=6))
+        assert ur.total_cycles > 20 * bp.total_cycles
+
+    def test_weight_preload_timing_identical(self):
+        # Section III-D: "the weight preloading is identical to that in
+        # binary systolic arrays."
+        bp = build_schedule(PARAMS, ArrayConfig(12, 14, CS.BINARY_PARALLEL))
+        ur = build_schedule(PARAMS, ArrayConfig(12, 14, CS.USYSTOLIC_RATE, ebt=6))
+        bp_first = next(op for op in bp if op.kind is OpKind.LOAD_WEIGHTS)
+        ur_first = next(op for op in ur if op.kind is OpKind.LOAD_WEIGHTS)
+        assert bp_first.duration == ur_first.duration
+        assert bp_first.start_cycle == ur_first.start_cycle
+
+    def test_ops_cover_all_tiles(self):
+        cfg = ArrayConfig(12, 14, CS.BINARY_PARALLEL)
+        sched = build_schedule(PARAMS, cfg)
+        tiles = {op.tile_index for op in sched}
+        assert tiles == set(range(sched.tiling.num_tiles))
+
+    def test_end_cycle(self):
+        cfg = ArrayConfig(12, 14, CS.BINARY_PARALLEL)
+        sched = build_schedule(PARAMS, cfg)
+        op = sched.ops[0]
+        assert op.end_cycle == op.start_cycle + op.duration
+
+
+class TestIsa:
+    def test_roundtrip(self):
+        instr = Instruction(
+            opcode=Opcode.STREAM_IFM, tile=7, count=1234, mac_cycles=33, flags=3
+        )
+        assert decode(assemble(instr)) == instr
+
+    def test_roundtrip_all_opcodes(self):
+        for op in Opcode:
+            instr = Instruction(opcode=op, tile=1, count=2, mac_cycles=5)
+            assert decode(assemble(instr)).opcode == op
+
+    def test_field_limits(self):
+        with pytest.raises(ValueError):
+            Instruction(opcode=Opcode.HALT, tile=1 << 16)
+        with pytest.raises(ValueError):
+            Instruction(opcode=Opcode.HALT, count=1 << 20)
+        with pytest.raises(ValueError):
+            Instruction(opcode=Opcode.HALT, mac_cycles=0)
+
+    def test_decode_rejects_oversized_word(self):
+        with pytest.raises(ValueError):
+            decode(1 << 64)
+
+    def test_program_ends_with_halt(self):
+        prog = build_program(PARAMS, ArrayConfig(12, 14, CS.BINARY_PARALLEL))
+        assert prog[-1].opcode is Opcode.HALT
+
+    def test_stream_carries_mac_cycle_indicator(self):
+        # Section III-D: the ISA is augmented with the MAC cycle count.
+        prog = build_program(PARAMS, ArrayConfig(12, 14, CS.USYSTOLIC_RATE, ebt=6))
+        streams = [i for i in prog if i.opcode is Opcode.STREAM_IFM]
+        assert streams
+        assert all(i.mac_cycles == 33 for i in streams)
+        assert all(i.flags & FLAG_EARLY_TERMINATED for i in streams)
+
+    def test_binary_program_one_cycle_macs(self):
+        prog = build_program(PARAMS, ArrayConfig(12, 14, CS.BINARY_PARALLEL))
+        streams = [i for i in prog if i.opcode is Opcode.STREAM_IFM]
+        assert all(i.mac_cycles == 1 for i in streams)
+        assert not any(i.flags & FLAG_EARLY_TERMINATED for i in streams)
+
+    def test_programs_same_length_across_schemes(self):
+        bp = build_program(PARAMS, ArrayConfig(12, 14, CS.BINARY_PARALLEL))
+        ur = build_program(PARAMS, ArrayConfig(12, 14, CS.USYSTOLIC_RATE, ebt=6))
+        assert len(bp) == len(ur)
+        assert [i.opcode for i in bp] == [i.opcode for i in ur]

@@ -1,0 +1,26 @@
+"""Tests for the claims scorecard."""
+
+from repro.eval.claims import ClaimResult, format_scorecard, run_claims
+
+
+class TestScorecard:
+    def test_fast_claims_all_pass(self):
+        results = run_claims(include_slow=False)
+        assert len(results) >= 12
+        failed = [r.claim for r in results if not r.passed]
+        assert not failed, failed
+
+    def test_every_claim_has_section_and_values(self):
+        for r in run_claims(include_slow=False):
+            assert r.section
+            assert r.paper
+            assert r.measured
+
+    def test_format_counts_passes(self):
+        results = [
+            ClaimResult("X", "c1", "p", "m", True),
+            ClaimResult("Y", "c2", "p", "m", False),
+        ]
+        out = format_scorecard(results)
+        assert "1/2 claims hold" in out
+        assert "PASS" in out and "FAIL" in out

@@ -1,0 +1,107 @@
+"""Tests for the accuracy-energy Pareto analysis."""
+
+import pytest
+
+from repro.eval.pareto import (
+    DesignPoint,
+    design_space,
+    format_pareto,
+    pareto_frontier,
+)
+from repro.nn.datasets import make_dataset
+from repro.nn.models import mnist4
+from repro.nn.training import train
+from repro.schemes import ComputeScheme as CS
+from repro.workloads.alexnet import alexnet_layers
+from repro.workloads.presets import EDGE
+
+
+def _point(label, acc, energy):
+    return DesignPoint(
+        label=label,
+        scheme=CS.USYSTOLIC_RATE,
+        ebt=6,
+        accuracy=acc,
+        on_chip_energy_j=energy,
+        runtime_s=1.0,
+    )
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        better = _point("a", 0.9, 1.0)
+        worse = _point("b", 0.8, 2.0)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_tradeoff_points_do_not_dominate(self):
+        cheap = _point("a", 0.7, 1.0)
+        accurate = _point("b", 0.9, 2.0)
+        assert not cheap.dominates(accurate)
+        assert not accurate.dominates(cheap)
+
+    def test_equal_points_do_not_dominate(self):
+        a = _point("a", 0.8, 1.0)
+        b = _point("b", 0.8, 1.0)
+        assert not a.dominates(b)
+
+
+class TestFrontier:
+    def test_frontier_extraction(self):
+        points = [
+            _point("cheap", 0.6, 1.0),
+            _point("mid", 0.8, 2.0),
+            _point("dominated", 0.7, 3.0),
+            _point("best", 0.9, 4.0),
+        ]
+        frontier = pareto_frontier(points)
+        labels = [p.label for p in frontier]
+        assert labels == ["cheap", "mid", "best"]
+
+    def test_frontier_sorted_by_energy(self):
+        points = [_point("a", 0.5, 3.0), _point("b", 0.4, 1.0)]
+        frontier = pareto_frontier(points)
+        energies = [p.on_chip_energy_j for p in frontier]
+        assert energies == sorted(energies)
+
+
+class TestDesignSpace:
+    @pytest.fixture(scope="class")
+    def space(self):
+        ds = make_dataset("easy", train=150, test=50)
+        model = mnist4(ds.image_shape, ds.num_classes)
+        train(model, ds, epochs=4, seed=1)
+        return design_space(
+            model,
+            ds.x_test,
+            ds.y_test,
+            alexnet_layers()[:2],
+            EDGE.rows,
+            EDGE.cols,
+            EDGE.memory.without_sram(),
+            ebts=(4, 6, 8),
+        )
+
+    def test_covers_both_schemes(self, space):
+        schemes = {p.scheme for p in space}
+        assert schemes == {CS.USYSTOLIC_RATE, CS.UGEMM_RATE}
+        assert len(space) == 6
+
+    def test_ugemm_always_dominated(self, space):
+        # Identical arithmetic, double the cycles: every uGEMM-H point is
+        # dominated by the uSystolic point at the same EBT.
+        frontier = pareto_frontier(space)
+        assert all(p.scheme is CS.USYSTOLIC_RATE for p in frontier)
+
+    def test_energy_grows_with_ebt(self, space):
+        ur = sorted(
+            (p for p in space if p.scheme is CS.USYSTOLIC_RATE),
+            key=lambda p: p.ebt,
+        )
+        energies = [p.on_chip_energy_j for p in ur]
+        assert energies == sorted(energies)
+
+    def test_format(self, space):
+        out = format_pareto(space, pareto_frontier(space))
+        assert "Pareto" in out
+        assert "UR@6" in out

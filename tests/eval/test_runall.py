@@ -1,0 +1,39 @@
+"""Tests for the run-all driver's interface (full runs live in benches)."""
+
+import io
+
+import pytest
+
+from repro.eval import runall
+
+
+class TestMainInterface:
+    def test_parser_accepts_fast(self, monkeypatch):
+        called = {}
+
+        def fake_run_all(out=None, fast=False):
+            called["fast"] = fast
+
+        monkeypatch.setattr(runall, "run_all", fake_run_all)
+        assert runall.main(["--fast"]) == 0
+        assert called["fast"] is True
+
+    def test_parser_default_not_fast(self, monkeypatch):
+        called = {}
+        monkeypatch.setattr(
+            runall, "run_all", lambda out=None, fast=False: called.update(fast=fast)
+        )
+        assert runall.main([]) == 0
+        assert called["fast"] is False
+
+    def test_unknown_flag_rejected(self):
+        with pytest.raises(SystemExit):
+            runall.main(["--bogus"])
+
+    def test_timed_section_format(self):
+        out = io.StringIO()
+        runall._timed(out, "Section", lambda: "body text")
+        text = out.getvalue()
+        assert "Section" in text
+        assert "body text" in text
+        assert "=" * 20 in text

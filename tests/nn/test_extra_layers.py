@@ -1,0 +1,133 @@
+"""Tests for the extended layer zoo: BatchNorm, AvgPool2d, Dropout."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import AvgPool2d, BatchNorm, Dropout, Linear, ReLU, Sequential
+from repro.nn.training import softmax_cross_entropy
+
+
+class TestBatchNorm:
+    def test_normalises_batch(self):
+        rng = np.random.default_rng(0)
+        bn = BatchNorm(3)
+        x = rng.standard_normal((64, 4, 4, 3)) * 5 + 2
+        out = bn.forward(x)
+        assert np.abs(out.mean(axis=(0, 1, 2))).max() < 1e-6
+        assert np.abs(out.std(axis=(0, 1, 2)) - 1).max() < 1e-3
+
+    def test_running_stats_tracked(self):
+        rng = np.random.default_rng(1)
+        bn = BatchNorm(2, momentum=0.0)  # adopt the batch stats directly
+        x = rng.standard_normal((32, 2, 2, 2)) + 7.0
+        bn.forward(x)
+        assert np.abs(bn.running_mean - 7).max() < 0.5
+
+    def test_inference_uses_running_stats(self):
+        rng = np.random.default_rng(2)
+        bn = BatchNorm(2, momentum=0.0)
+        bn.forward(rng.standard_normal((32, 2, 2, 2)))
+        bn.training = False
+        # A constant input normalised by running stats is deterministic.
+        x = np.ones((1, 2, 2, 2))
+        out1 = bn.forward(x)
+        out2 = bn.forward(x * 1.0)
+        np.testing.assert_allclose(out1, out2)
+
+    def test_gradient_shapes_and_zero_mean(self):
+        rng = np.random.default_rng(3)
+        bn = BatchNorm(3)
+        x = rng.standard_normal((16, 2, 2, 3))
+        bn.forward(x)
+        gx = bn.backward(np.ones((16, 2, 2, 3)))
+        assert gx.shape == x.shape
+        # Gradient through normalisation has (near) zero channel mean.
+        assert np.abs(gx.mean(axis=(0, 1, 2))).max() < 1e-6
+
+    def test_params_registered(self):
+        bn = BatchNorm(4)
+        assert len(bn.params_and_grads()) == 2
+
+    def test_2d_input_supported(self):
+        bn = BatchNorm(5)
+        out = bn.forward(np.random.default_rng(4).standard_normal((8, 5)))
+        assert out.shape == (8, 5)
+
+
+class TestAvgPool2d:
+    def test_forward_means(self):
+        p = AvgPool2d(2)
+        x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        out = p.forward(x)
+        np.testing.assert_allclose(out[0, :, :, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_backward_spreads_evenly(self):
+        p = AvgPool2d(2)
+        x = np.zeros((1, 4, 4, 1))
+        p.forward(x)
+        gx = p.backward(np.ones((1, 2, 2, 1)))
+        np.testing.assert_allclose(gx, np.full((1, 4, 4, 1), 0.25))
+
+    def test_truncation(self):
+        p = AvgPool2d(2)
+        x = np.zeros((1, 5, 5, 2))
+        out = p.forward(x)
+        assert out.shape == (1, 2, 2, 2)
+        gx = p.backward(np.ones((1, 2, 2, 2)))
+        assert gx.shape == x.shape
+        assert (gx[:, 4] == 0).all()
+
+
+class TestDropout:
+    def test_identity_at_inference(self):
+        d = Dropout(0.5)
+        d.training = False
+        x = np.ones((4, 4))
+        np.testing.assert_array_equal(d.forward(x), x)
+
+    def test_scales_kept_units(self):
+        d = Dropout(0.5, seed=0)
+        x = np.ones((2000,)).reshape(1, -1)
+        out = d.forward(x)
+        kept = out[out > 0]
+        np.testing.assert_allclose(kept, 2.0)
+        # Expectation preserved.
+        assert abs(out.mean() - 1.0) < 0.1
+
+    def test_backward_masks_gradient(self):
+        d = Dropout(0.5, seed=1)
+        x = np.ones((1, 100))
+        out = d.forward(x)
+        gx = d.backward(np.ones((1, 100)))
+        np.testing.assert_array_equal((gx > 0), (out > 0))
+
+    def test_zero_rate_is_identity(self):
+        d = Dropout(0.0)
+        x = np.ones((3, 3))
+        np.testing.assert_array_equal(d.forward(x), x)
+        np.testing.assert_array_equal(d.backward(x), x)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestTrainingWithExtras:
+    def test_model_with_bn_and_dropout_trains(self):
+        rng = np.random.default_rng(5)
+        model = Sequential(
+            Linear(8, 16, seed=6), BatchNorm(16), ReLU(), Dropout(0.2, seed=7),
+            Linear(16, 3, seed=8),
+        )
+        x = rng.standard_normal((64, 8))
+        y = (x[:, 0] > 0).astype(int) + (x[:, 1] > 0).astype(int)
+        first_loss = None
+        for _ in range(60):
+            logits = model.forward(x)
+            loss, grad = softmax_cross_entropy(logits, y)
+            if first_loss is None:
+                first_loss = loss
+            model.backward(grad)
+            for p, g in model.params_and_grads():
+                p -= 0.1 * g
+        assert loss < first_loss * 0.7

@@ -1,0 +1,72 @@
+"""Tests for the network -> GEMM workload bridge."""
+
+import pytest
+
+from repro.gemm.params import GemmType
+from repro.nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
+from repro.nn.models import alexnet_mini, mnist4, resnet_mini
+from repro.nn.pipeline import network_to_gemms
+
+
+class TestNetworkToGemms:
+    def test_mnist4_structure(self):
+        model = mnist4((12, 12, 1), 10)
+        gemms = network_to_gemms(model, (12, 12, 1))
+        kinds = [g.gemm_type for g in gemms]
+        assert kinds.count(GemmType.CONVOLUTION) == 2
+        assert kinds.count(GemmType.MULTIPLICATION) == 2
+
+    def test_shapes_match_forward_pass(self):
+        import numpy as np
+
+        model = alexnet_mini((12, 12, 3), 20)
+        gemms = network_to_gemms(model, (12, 12, 3))
+        # The traced MAC count must equal the per-layer GEMM sizes implied
+        # by an actual forward pass (batch 1).
+        x = np.zeros((1, 12, 12, 3))
+        out = model.forward(x)
+        assert out.shape == (1, 20)
+        # Final FC output channels equal the class count.
+        assert gemms[-1].oc == 20
+
+    def test_residual_traced_through(self):
+        model = resnet_mini((12, 12, 3), 10)
+        gemms = network_to_gemms(model, (12, 12, 3))
+        # Stem + 2 blocks x 2 convs + final FC.
+        assert len(gemms) == 1 + 4 + 1
+
+    def test_conv_padding_reflected(self):
+        model = Sequential(Conv2d(3, 4, 3, pad=1, seed=0))
+        gemms = network_to_gemms(model, (8, 8, 3))
+        assert (gemms[0].oh, gemms[0].ow) == (8, 8)
+        assert gemms[0].ih == 10  # padded
+
+    def test_pool_shrinks_traced_shape(self):
+        model = Sequential(
+            Conv2d(1, 2, 3, seed=0), ReLU(), MaxPool2d(2), Flatten(), Linear(2 * 3 * 3, 5, seed=1)
+        )
+        gemms = network_to_gemms(model, (8, 8, 1))
+        assert gemms[-1].window == 2 * 3 * 3
+
+    def test_mismatched_linear_rejected(self):
+        model = Sequential(Flatten(), Linear(10, 5, seed=0))
+        with pytest.raises(ValueError):
+            network_to_gemms(model, (4, 4, 1))  # 16 features != 10
+
+    def test_mismatched_conv_rejected(self):
+        model = Sequential(Conv2d(2, 4, 3, seed=0))
+        with pytest.raises(ValueError):
+            network_to_gemms(model, (8, 8, 3))
+
+    def test_macs_positive_and_simulatable(self):
+        from repro.schemes import ComputeScheme as CS
+        from repro.sim.engine import simulate_network
+        from repro.workloads.presets import EDGE
+
+        model = mnist4((12, 12, 1), 10)
+        gemms = network_to_gemms(model, (12, 12, 1))
+        results = simulate_network(
+            gemms, EDGE.array(CS.USYSTOLIC_RATE, ebt=6), EDGE.memory.without_sram()
+        )
+        assert all(r.runtime_s > 0 for r in results)
+        assert sum(r.macs for r in results) == sum(g.macs for g in gemms)

@@ -1,0 +1,57 @@
+"""Tests for model save/load."""
+
+import numpy as np
+import pytest
+
+from repro.nn.datasets import make_dataset
+from repro.nn.inference import evaluate
+from repro.nn.layers import BatchNorm, Linear, ReLU, Sequential
+from repro.nn.models import mnist4
+from repro.nn.quant import QuantMode, QuantSpec
+from repro.nn.serialize import load_model, save_model
+from repro.nn.training import train
+
+
+class TestSerialize:
+    def test_roundtrip_preserves_outputs(self, tmp_path):
+        ds = make_dataset("easy", train=120, test=40)
+        model = mnist4(ds.image_shape, ds.num_classes)
+        train(model, ds, epochs=3, seed=1)
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+
+        fresh = mnist4(ds.image_shape, ds.num_classes)
+        before = evaluate(fresh, ds.x_test, ds.y_test, QuantSpec(QuantMode.FP32))
+        load_model(fresh, path)
+        after_logits = fresh.forward(ds.x_test[:8])
+        np.testing.assert_allclose(after_logits, model.forward(ds.x_test[:8]))
+        after = evaluate(fresh, ds.x_test, ds.y_test, QuantSpec(QuantMode.FP32))
+        assert after >= before  # trained weights restored
+
+    def test_batchnorm_running_stats_saved(self, tmp_path):
+        model = Sequential(Linear(4, 6, seed=0), BatchNorm(6), ReLU())
+        rng = np.random.default_rng(0)
+        model.forward(rng.standard_normal((32, 4)) + 3)
+        path = tmp_path / "bn.npz"
+        save_model(model, path)
+        fresh = Sequential(Linear(4, 6, seed=9), BatchNorm(6), ReLU())
+        load_model(fresh, path)
+        np.testing.assert_allclose(
+            fresh.layers[1].running_mean, model.layers[1].running_mean
+        )
+
+    def test_parameter_count_mismatch_rejected(self, tmp_path):
+        small = Sequential(Linear(4, 4, seed=0))
+        big = Sequential(Linear(4, 4, seed=0), Linear(4, 4, seed=1))
+        path = tmp_path / "m.npz"
+        save_model(small, path)
+        with pytest.raises(ValueError):
+            load_model(big, path)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        a = Sequential(Linear(4, 4, seed=0))
+        b = Sequential(Linear(4, 5, seed=0))
+        path = tmp_path / "m.npz"
+        save_model(a, path)
+        with pytest.raises(ValueError):
+            load_model(b, path)

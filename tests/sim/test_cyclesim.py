@@ -1,0 +1,95 @@
+"""Golden-model validation: the closed-form schedule vs cycle stepping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gemm.tiling import Tile
+from repro.schemes import ComputeScheme as CS
+from repro.schemes import scheme_mac_cycles
+from repro.sim.cyclesim import simulate_fold
+from repro.sim.dataflow import schedule_tile
+
+
+def _operands(rows, cols, vectors, seed=0):
+    rng = np.random.default_rng(seed)
+    w = rng.integers(-100, 101, size=(rows, cols))
+    x = rng.integers(-100, 101, size=(vectors, rows))
+    return w, x
+
+
+class TestGoldenVsAnalytic:
+    @pytest.mark.parametrize(
+        "scheme,ebt",
+        [
+            (CS.BINARY_PARALLEL, None),
+            (CS.BINARY_SERIAL, None),
+            (CS.USYSTOLIC_RATE, 6),
+            (CS.USYSTOLIC_TEMPORAL, None),
+        ],
+    )
+    def test_last_mac_finish_matches_closed_form(self, scheme, ebt):
+        # The analytic tile time (preload + stream + skew drain) is exactly
+        # the golden model's last MAC completion; the remaining rows-1
+        # ripple overlaps the next fold's preload.
+        rows, cols, vectors = 4, 3, 5
+        w, x = _operands(rows, cols, vectors)
+        res = simulate_fold(w, x, scheme, ebt=ebt)
+        mac = scheme_mac_cycles(scheme, 8, ebt)
+        tile = Tile(k_start=0, rows=rows, cols=cols, c_start=0, vectors=vectors)
+        ts = schedule_tile(tile, mac)
+        assert res.last_mac_finish == ts.total_cycles
+        assert res.total_cycles == ts.total_cycles + rows - 1
+        assert res.preload_cycles == ts.preload_cycles
+
+    def test_busy_cycles_equal_macs_times_cycles(self):
+        rows, cols, vectors = 3, 4, 6
+        w, x = _operands(rows, cols, vectors, seed=1)
+        res = simulate_fold(w, x, CS.USYSTOLIC_RATE, ebt=6)
+        assert res.pe_busy_cycles == rows * cols * vectors * 33
+
+    def test_binary_outputs_exact(self):
+        rows, cols, vectors = 5, 4, 7
+        w, x = _operands(rows, cols, vectors, seed=2)
+        res = simulate_fold(w, x, CS.BINARY_PARALLEL)
+        np.testing.assert_array_equal(res.psums, x.astype(float) @ w.astype(float))
+
+    def test_unary_outputs_match_functional_array(self):
+        # The golden model and the functional array share PE arithmetic;
+        # their partial sums must agree product for product.
+        from repro.unary.vectorized import hub_mac_row
+
+        rows, cols, vectors = 3, 3, 4
+        w, x = _operands(rows, cols, vectors, seed=3)
+        res = simulate_fold(w, x, CS.USYSTOLIC_RATE, ebt=6)
+        ref = np.zeros((vectors, cols))
+        for v in range(vectors):
+            for r in range(rows):
+                ref[v] += hub_mac_row(int(x[v, r]), w[r], 8, ebt=6)
+        np.testing.assert_array_equal(res.psums, ref)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            simulate_fold(np.zeros((2, 2), dtype=int), np.zeros((3, 4), dtype=int),
+                          CS.BINARY_PARALLEL)
+
+
+@given(
+    rows=st.integers(1, 5),
+    cols=st.integers(1, 5),
+    vectors=st.integers(1, 6),
+    scheme_ebt=st.sampled_from(
+        [(CS.BINARY_PARALLEL, None), (CS.BINARY_SERIAL, None), (CS.USYSTOLIC_RATE, 4)]
+    ),
+)
+@settings(max_examples=25, deadline=None)
+def test_golden_matches_closed_form_property(rows, cols, vectors, scheme_ebt):
+    scheme, ebt = scheme_ebt
+    w, x = _operands(rows, cols, vectors, seed=rows * 31 + cols)
+    res = simulate_fold(w, x, scheme, ebt=ebt)
+    mac = scheme_mac_cycles(scheme, 8, ebt)
+    tile = Tile(k_start=0, rows=rows, cols=cols, c_start=0, vectors=vectors)
+    ts = schedule_tile(tile, mac)
+    assert res.last_mac_finish == ts.total_cycles
+    assert res.pe_busy_cycles == rows * cols * vectors * mac

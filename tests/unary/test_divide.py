@@ -1,0 +1,92 @@
+"""Tests for in-stream division and square root (the [71] extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.unary.correlation import scc_bits
+from repro.unary.divide import cordiv, insqrt
+from repro.unary.rng import SobolSequence
+
+
+class TestCordiv:
+    def test_exact_cases(self):
+        bits = 7
+        assert cordiv(64, 128, bits).value == pytest.approx(0.5, abs=0.02)
+        assert cordiv(128, 128, bits).value == pytest.approx(1.0)
+        assert cordiv(0, 128, bits).value == pytest.approx(0.0)
+
+    def test_accuracy_band(self):
+        bits = 7
+        errs = []
+        for a in range(0, 129, 16):
+            for b in range(max(a, 32), 129, 16):
+                errs.append(abs(cordiv(a, b, bits).value - a / b))
+        assert max(errs) < 0.12
+        assert float(np.mean(errs)) < 0.03
+
+    def test_relies_on_positive_correlation(self):
+        # The inputs the divider builds internally have SCC = +1 —
+        # maximal correlation, the opposite regime from uMUL.
+        bits = 7
+        rng = SobolSequence(bits).values(1 << bits)
+        a = (rng < 40).astype(np.uint8)
+        b = (rng < 100).astype(np.uint8)
+        assert scc_bits(a, b) == pytest.approx(1.0)
+
+    def test_quotient_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            cordiv(100, 50, 7)
+
+    def test_zero_divisor_rejected(self):
+        with pytest.raises(ValueError):
+            cordiv(0, 0, 7)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            cordiv(200, 300, 7)
+
+
+class TestInsqrt:
+    def test_known_values(self):
+        bits = 7
+        assert insqrt(128, bits).value == pytest.approx(1.0, abs=0.05)
+        assert insqrt(32, bits).value == pytest.approx(0.5, abs=0.08)
+
+    def test_accuracy_band(self):
+        bits = 7
+        errs = [
+            abs(insqrt(v, bits).value - (v / 128) ** 0.5)
+            for v in range(8, 129, 8)
+        ]
+        assert max(errs) < 0.12
+
+    def test_monotone_in_value(self):
+        bits = 7
+        ys = [insqrt(v, bits).value for v in (16, 64, 128)]
+        assert ys[0] < ys[1] < ys[2]
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            insqrt(300, 7)
+
+
+@given(
+    a=st.integers(min_value=0, max_value=128),
+    b=st.integers(min_value=32, max_value=128),
+)
+@settings(max_examples=40, deadline=None)
+def test_cordiv_bounded_error_property(a, b):
+    if a > b:
+        a, b = b, a
+    q = cordiv(a, b, 7).value
+    assert 0.0 <= q <= 1.0
+    assert abs(q - a / b) < 0.15
+
+
+@given(v=st.integers(min_value=4, max_value=128))
+@settings(max_examples=30, deadline=None)
+def test_insqrt_bounded_error_property(v):
+    y = insqrt(v, 7).value
+    assert abs(y - (v / 128) ** 0.5) < 0.15

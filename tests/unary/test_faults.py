@@ -1,0 +1,89 @@
+"""Tests for fault injection: graceful unary vs positional binary damage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.unary.bitstream import BitstreamGenerator
+from repro.unary.faults import (
+    binary_fault_error,
+    flip_binary_bit,
+    flip_stream_bits,
+    unary_fault_error,
+)
+
+
+def _stream(value=0.5, bits=7):
+    return BitstreamGenerator(bits).generate_float(value)
+
+
+class TestStreamFaults:
+    def test_single_flip_bounded_by_one_lsb(self):
+        s = _stream()
+        err = unary_fault_error(s, flips=1)
+        assert err == pytest.approx(1 / len(s))
+
+    def test_k_flips_bounded_by_k_lsb(self):
+        s = _stream()
+        for k in (1, 4, 16):
+            assert unary_fault_error(s, flips=k) <= k / len(s) + 1e-12
+
+    def test_zero_flips_no_error(self):
+        assert unary_fault_error(_stream(), flips=0) == 0.0
+
+    def test_flip_count_validation(self):
+        s = _stream()
+        with pytest.raises(ValueError):
+            flip_stream_bits(s, -1, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            flip_stream_bits(s, len(s) + 1, np.random.default_rng(0))
+
+    def test_flips_actually_flip(self):
+        s = _stream()
+        corrupted = flip_stream_bits(s, 5, np.random.default_rng(1))
+        assert int((corrupted.bits != s.bits).sum()) == 5
+
+
+class TestBinaryFaults:
+    def test_msb_flip_catastrophic(self):
+        assert binary_fault_error(0, bit=7, bits=8) == 0.5
+
+    def test_lsb_flip_negligible(self):
+        assert binary_fault_error(0, bit=0, bits=8) == 1 / 256
+
+    def test_flip_is_involution(self):
+        v = 0b1011_0010
+        assert flip_binary_bit(flip_binary_bit(v, 5, 8), 5, 8) == v
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            flip_binary_bit(0, 8, 8)
+        with pytest.raises(ValueError):
+            flip_binary_bit(256, 0, 8)
+
+
+class TestGracefulDegradation:
+    def test_unary_beats_binary_worst_case(self):
+        # One flip anywhere in a 128-bit stream costs 1/128; one flip in
+        # the wrong place of an 8-bit word costs 1/2: the 64x gap that
+        # makes unary logic inherently fault tolerant.
+        s = _stream(0.5, bits=7)
+        unary_worst = max(
+            unary_fault_error(s, flips=1, seed=seed) for seed in range(10)
+        )
+        binary_worst = max(
+            binary_fault_error(64, bit=b, bits=8) for b in range(8)
+        )
+        assert binary_worst >= 64 * unary_worst
+
+
+@given(
+    flips=st.integers(min_value=0, max_value=64),
+    value=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_unary_error_bound_property(flips, value):
+    s = BitstreamGenerator(6).generate_float(value)
+    err = unary_fault_error(s, flips=flips, seed=flips)
+    assert err <= flips / len(s) + 1e-12

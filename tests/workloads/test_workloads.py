@@ -1,0 +1,170 @@
+"""Tests for workload definitions and platform presets."""
+
+import pytest
+
+from repro.gemm.params import GemmType
+from repro.gemm.tiling import tile_gemm
+from repro.schemes import ComputeScheme as CS
+from repro.workloads.alexnet import ALEXNET_PARAM_COUNT, alexnet_layers
+from repro.workloads.mlperf import mlperf_suite
+from repro.workloads.presets import CLOUD, EDGE, scheme_sweep
+
+
+class TestAlexNet:
+    def test_eight_layers(self):
+        layers = alexnet_layers()
+        assert len(layers) == 8
+        assert [l.name for l in layers] == [
+            "Conv1", "Conv2", "Conv3", "Conv4", "Conv5", "FC6", "FC7", "FC8",
+        ]
+
+    def test_layer_types(self):
+        layers = alexnet_layers()
+        assert all(l.gemm_type is GemmType.CONVOLUTION for l in layers[:5])
+        assert all(l.gemm_type is GemmType.MULTIPLICATION for l in layers[5:])
+
+    def test_known_output_shapes(self):
+        conv1 = alexnet_layers()[0]
+        assert (conv1.oh, conv1.ow, conv1.oc) == (55, 55, 96)
+        conv5 = alexnet_layers()[4]
+        assert (conv5.oh, conv5.ow, conv5.oc) == (13, 13, 256)
+
+    def test_parameter_count_near_paper(self):
+        # 61.1M parameters (weights; biases excluded from the GEMM view;
+        # ungrouped convolutions add ~2% over the two-GPU original).
+        total = sum(l.weight_elems for l in alexnet_layers())
+        assert total == pytest.approx(ALEXNET_PARAM_COUNT, rel=0.03)
+
+    def test_fc6_dominates_weights(self):
+        layers = {l.name: l for l in alexnet_layers()}
+        assert layers["FC6"].weight_elems > 0.5 * ALEXNET_PARAM_COUNT
+
+
+class TestMlperfSuite:
+    def test_all_eight_models_present(self):
+        suite = mlperf_suite()
+        assert set(suite) == {
+            "alphagozero",
+            "alexnet",
+            "googlenet",
+            "resnet50",
+            "ncf",
+            "sentimental_seqCNN",
+            "sentimental_seqLSTM",
+            "transformer",
+        }
+
+    def test_layer_count_scale(self):
+        # The paper quotes 1094 GEMMs at an unspecified unrolling
+        # granularity; our architecture-faithful unroll yields ~320 and
+        # stays convolution-dominated (see module docstring).
+        total = sum(len(layers) for layers in mlperf_suite().values())
+        assert 250 <= total <= 1200
+
+    def test_unique_layer_names(self):
+        for model, layers in mlperf_suite().items():
+            names = [l.name for l in layers]
+            assert len(names) == len(set(names)), f"duplicate names in {model}"
+
+    def test_shape_diversity(self):
+        # The generalizability premise: the suite mixes conv and matmul
+        # with widely varying reduction lengths.
+        suite = mlperf_suite()
+        all_layers = [l for layers in suite.values() for l in layers]
+        kinds = {l.gemm_type for l in all_layers}
+        assert kinds == {GemmType.CONVOLUTION, GemmType.MULTIPLICATION}
+        windows = [l.window for l in all_layers]
+        assert max(windows) / max(min(windows), 1) > 50
+
+    def test_mlperf_utilization_below_alexnet(self):
+        # Section V-G: diverse GEMMs reduce average MAC utilization
+        # (AlexNet ~97% edge vs MLPerf ~70%).
+        def mean_util(layers, rows, cols):
+            utils = [tile_gemm(l, rows, cols).utilization for l in layers]
+            return sum(utils) / len(utils)
+
+        alex = mean_util(alexnet_layers(), 12, 14)
+        suite = mlperf_suite()
+        all_layers = [l for layers in suite.values() for l in layers]
+        mlperf = mean_util(all_layers, 12, 14)
+        assert mlperf < alex
+
+    def test_resnet50_structure(self):
+        layers = mlperf_suite()["resnet50"]
+        # 1 stem + (3+4+6+3) blocks x 3 convs + 4 downsamples + 1 fc = 54.
+        assert len(layers) == 1 + 16 * 3 + 4 + 1
+
+    def test_transformer_all_matmul(self):
+        # 6 encoder blocks x 6 GEMMs + 6 decoder blocks x 10 GEMMs.
+        layers = mlperf_suite()["transformer"]
+        assert all(l.gemm_type is GemmType.MULTIPLICATION for l in layers)
+        assert len(layers) == 6 * 6 + 6 * 10
+
+
+class TestPresets:
+    def test_edge_is_eyeriss_shaped(self):
+        assert (EDGE.rows, EDGE.cols) == (12, 14)
+        assert EDGE.memory.sram_bytes_per_variable == 64 * 1024
+
+    def test_cloud_is_tpu_shaped(self):
+        assert (CLOUD.rows, CLOUD.cols) == (256, 256)
+        assert CLOUD.memory.sram_bytes_per_variable == 8 * 2**20
+
+    def test_array_factory(self):
+        arr = EDGE.array(CS.USYSTOLIC_RATE, ebt=6)
+        assert (arr.rows, arr.cols) == (12, 14)
+        assert arr.mac_cycles == 33
+
+    def test_memory_for_scheme(self):
+        assert EDGE.memory_for(CS.BINARY_PARALLEL).has_sram
+        assert not EDGE.memory_for(CS.USYSTOLIC_RATE).has_sram
+
+    def test_scheme_sweep_matches_figure10(self):
+        sweep = scheme_sweep()
+        names = [name for name, _, _ in sweep]
+        assert names == [
+            "Binary Parallel",
+            "Binary Serial",
+            "Unary-32c",
+            "Unary-64c",
+            "Unary-128c",
+            "uGEMM-H",
+        ]
+        from repro.schemes import scheme_mac_cycles
+
+        cycles = [
+            scheme_mac_cycles(scheme, 8, ebt) - 1 for _, scheme, ebt in sweep
+        ]
+        assert cycles == [0, 8, 32, 64, 128, 256]
+
+
+class TestOtherCnns:
+    def test_mnist_cnn_parameter_count(self):
+        from repro.workloads.cnns import mnist_cnn_layers
+
+        total = sum(l.weight_elems for l in mnist_cnn_layers())
+        assert total == pytest.approx(1.2e6, rel=0.05)
+
+    def test_resnet18_parameter_count(self):
+        from repro.workloads.cnns import resnet18_layers
+
+        total = sum(l.weight_elems for l in resnet18_layers())
+        assert total == pytest.approx(11.7e6, rel=0.06)
+
+    def test_resnet18_structure(self):
+        from repro.workloads.cnns import resnet18_layers
+
+        layers = resnet18_layers()
+        # stem + 8 blocks x 2 convs + 3 downsamples + fc.
+        assert len(layers) == 1 + 16 + 3 + 1
+
+    def test_all_layers_simulate(self):
+        from repro.sim.engine import simulate_network
+        from repro.workloads.cnns import mnist_cnn_layers
+
+        results = simulate_network(
+            mnist_cnn_layers(),
+            EDGE.array(CS.USYSTOLIC_RATE, ebt=6),
+            EDGE.memory.without_sram(),
+        )
+        assert all(r.runtime_s > 0 for r in results)
