@@ -1,0 +1,18 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: lint test bench eval all
+
+lint:
+	$(PYTHON) -m repro.analysis
+
+test:
+	$(PYTHON) -m pytest -q tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+eval:
+	$(PYTHON) -m repro.eval
+
+all: lint test

@@ -1,0 +1,47 @@
+"""Repo-native static analysis and runtime contracts.
+
+``repro.analysis`` keeps the reproduction honest about the physical
+quantities it models.  Four AST checkers run over the tree via
+``python -m repro.analysis`` (and the CI lint job / pytest gate):
+
+- **unit** (``UNIT*``) — dimensional analysis over unit-suffixed names
+  (``_pj``, ``_um2``, ``_cycles``, ``_bytes``, ``ge``, ``_per_``
+  compounds);
+- **det** (``DET*``) — hidden-global-state and unseeded RNG detection;
+- **cfg** (``CFG*``) — the frozen-dataclass + ``validate()`` contract on
+  every ``*Config``/``*Params`` class;
+- **exp** (``EXP*``) — ``__all__``/docstring export hygiene.
+
+:mod:`repro.analysis.contracts` carries the runtime half of the config
+contract.  Suppress individual findings with
+``# repro-lint: ignore[group-or-code]``; see ``docs/analysis.md``.
+"""
+
+from __future__ import annotations
+
+from .config_checks import ConfigChecker
+from .determinism import DeterminismChecker
+from .exports import ExportChecker
+from .findings import Finding
+from .reporting import render_json, render_text
+from .runner import ALL_CHECKERS, default_paths, main, run_analysis
+from .units import UnitChecker, parse_unit
+from .visitor import Checker, SourceFile, collect_sources
+
+__all__ = [
+    "ALL_CHECKERS",
+    "Checker",
+    "ConfigChecker",
+    "DeterminismChecker",
+    "ExportChecker",
+    "Finding",
+    "SourceFile",
+    "UnitChecker",
+    "collect_sources",
+    "default_paths",
+    "main",
+    "parse_unit",
+    "render_json",
+    "render_text",
+    "run_analysis",
+]

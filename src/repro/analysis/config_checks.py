@@ -1,0 +1,149 @@
+"""Config-invariant checker (``CFG*``).
+
+Configuration objects — every ``*Config``/``*Params`` dataclass
+(``ArrayConfig``, ``GemmParams``, ``MemoryConfig``) — are the contract
+surface between the CLI, the sweep drivers and the simulator.  This pass
+enforces the contract shape statically:
+
+- ``CFG001`` — a config dataclass must declare a ``validate()`` method
+  raising ``ValueError`` with field-specific messages (the runtime side
+  of the contract; ``simulate_layer`` calls it at entry);
+- ``CFG002`` — config dataclasses must be ``frozen=True`` (a mutated
+  config mid-sweep silently invalidates every cached result);
+- ``CFG003`` — ``validate()`` must be wired into ``__post_init__`` so a
+  nonsensical config cannot even be constructed;
+- ``CFG004`` — a dataclass field with a physical-unit suffix must not
+  declare a negative literal default (there is no negative area, energy
+  or byte count).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .findings import Finding
+from .units import parse_unit
+from .visitor import Checker, SourceFile
+
+__all__ = ["ConfigChecker"]
+
+_CONFIG_NAME_SUFFIXES = ("Config", "Params")
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> ast.AST | None:
+    """The ``@dataclass``/``@dataclasses.dataclass`` decorator, if any."""
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return deco
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return deco
+    return None
+
+
+def _is_frozen(decorator: ast.AST) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False
+    for kw in decorator.keywords:
+        if kw.arg == "frozen":
+            return isinstance(kw.value, ast.Constant) and kw.value.value is True
+    return False
+
+
+def _method(node: ast.ClassDef, name: str) -> ast.FunctionDef | None:
+    for stmt in node.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+            return stmt
+    return None
+
+
+def _calls_self_validate(func: ast.FunctionDef) -> bool:
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "validate"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            return True
+    return False
+
+
+def _negative_literal(node: ast.AST | None) -> bool:
+    return (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, (int, float))
+    )
+
+
+class ConfigChecker(Checker):
+    """Enforce the frozen-dataclass + validate() contract on config classes."""
+
+    name = "cfg"
+    codes = {
+        "CFG001": "config dataclass lacks a validate() method",
+        "CFG002": "config dataclass is not frozen",
+        "CFG003": "validate() is not called from __post_init__",
+        "CFG004": "unit-suffixed field declares a negative literal default",
+    }
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            decorator = _dataclass_decorator(node)
+            if decorator is None:
+                continue
+            yield from self._check_fields(source, node)
+            if not node.name.endswith(_CONFIG_NAME_SUFFIXES):
+                continue
+            if not _is_frozen(decorator):
+                yield self.finding(
+                    source,
+                    node,
+                    "CFG002",
+                    f"config dataclass {node.name} must be frozen=True",
+                )
+            validate = _method(node, "validate")
+            if validate is None:
+                yield self.finding(
+                    source,
+                    node,
+                    "CFG001",
+                    f"config dataclass {node.name} must declare validate() "
+                    "raising ValueError on impossible values",
+                )
+                continue
+            post_init = _method(node, "__post_init__")
+            if post_init is None or not _calls_self_validate(post_init):
+                yield self.finding(
+                    source,
+                    node,
+                    "CFG003",
+                    f"{node.name}.__post_init__ must call self.validate() so "
+                    "invalid configs fail at construction",
+                )
+
+    def _check_fields(
+        self, source: SourceFile, node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign):
+                continue
+            if not isinstance(stmt.target, ast.Name):
+                continue
+            unit = parse_unit(stmt.target.id)
+            if unit is None:
+                continue
+            if _negative_literal(stmt.value):
+                yield self.finding(
+                    source,
+                    stmt,
+                    "CFG004",
+                    f"field {stmt.target.id!r} carries unit "
+                    f"{unit.describe()} but defaults to a negative value",
+                )

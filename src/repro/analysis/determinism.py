@@ -1,0 +1,215 @@
+"""Determinism lint (``DET*``).
+
+Every stochastic quantity in the reproduction — fault injection, synthetic
+datasets, weight init — must flow from an explicitly seeded
+``np.random.Generator`` so the Figure 9-14 numbers are bit-reproducible.
+This pass flags the three ways hidden global state sneaks in:
+
+- ``DET001`` — NumPy legacy global-state API (``np.random.rand``,
+  ``np.random.seed``, ``np.random.shuffle``, ...);
+- ``DET002`` — the stdlib ``random`` module (global Mersenne state, or the
+  intentionally nondeterministic ``SystemRandom``);
+- ``DET003`` — an RNG constructed *without* a seed
+  (``np.random.default_rng()``, ``np.random.PCG64()``,
+  ``random.Random()``), which silently pulls OS entropy.
+
+The ``repro.unary`` package is a sanctioned site: its Sobol/LFSR modules
+*are* the deterministic sequence generators, so it is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Iterator
+
+from .findings import Finding
+from .visitor import Checker, SourceFile
+
+__all__ = ["DeterminismChecker"]
+
+#: np.random constructors that are fine *when seeded*.
+_SEEDED_CONSTRUCTORS = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+#: Package path fragments exempt from this checker (the RNG modules
+#: themselves).
+_SANCTIONED_FRAGMENTS = ("repro/unary/",)
+
+
+def _is_sanctioned(path: str) -> bool:
+    posix = PurePath(path).as_posix()
+    return any(fragment in posix for fragment in _SANCTIONED_FRAGMENTS)
+
+
+class DeterminismChecker(Checker):
+    """Flag global-state and unseeded randomness outside sanctioned sites."""
+
+    name = "det"
+    codes = {
+        "DET001": "numpy legacy global-state RNG call (np.random.*)",
+        "DET002": "stdlib 'random' module usage (hidden global state)",
+        "DET003": "RNG constructed without an explicit seed",
+    }
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if _is_sanctioned(source.path):
+            return
+        numpy_aliases, nprandom_aliases, stdlib_aliases, from_imports = (
+            self._collect_imports(source.tree)
+        )
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            finding = self._check_call(
+                source,
+                node,
+                numpy_aliases,
+                nprandom_aliases,
+                stdlib_aliases,
+                from_imports,
+            )
+            if finding is not None:
+                yield finding
+
+    @staticmethod
+    def _collect_imports(tree: ast.Module):
+        """Map local names to their randomness-relevant origins."""
+        numpy_aliases: set[str] = set()
+        nprandom_aliases: set[str] = set()
+        stdlib_aliases: set[str] = set()
+        #: local name -> ("numpy.random" | "random", original name)
+        from_imports: dict[str, tuple[str, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "numpy":
+                        numpy_aliases.add(local)
+                    elif alias.name == "numpy.random":
+                        if alias.asname:
+                            nprandom_aliases.add(alias.asname)
+                        else:
+                            numpy_aliases.add("numpy")
+                    elif alias.name == "random":
+                        stdlib_aliases.add(local)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            nprandom_aliases.add(alias.asname or "random")
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        from_imports[alias.asname or alias.name] = (
+                            "numpy.random",
+                            alias.name,
+                        )
+                elif node.module == "random":
+                    for alias in node.names:
+                        from_imports[alias.asname or alias.name] = (
+                            "random",
+                            alias.name,
+                        )
+        return numpy_aliases, nprandom_aliases, stdlib_aliases, from_imports
+
+    def _check_call(
+        self,
+        source,
+        node: ast.Call,
+        numpy_aliases,
+        nprandom_aliases,
+        stdlib_aliases,
+        from_imports,
+    ) -> Finding | None:
+        func = node.func
+        # np.random.X(...) / numpy.random.X(...)
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "random"
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in numpy_aliases
+        ):
+            return self._numpy_random_finding(source, node, func.attr)
+        # npr.X(...) where npr aliases numpy.random
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in nprandom_aliases
+        ):
+            return self._numpy_random_finding(source, node, func.attr)
+        # random.X(...) on the stdlib module
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in stdlib_aliases
+        ):
+            return self._stdlib_finding(source, node, func.attr)
+        # Bare names imported from numpy.random / random
+        if isinstance(func, ast.Name) and func.id in from_imports:
+            origin, original = from_imports[func.id]
+            if origin == "numpy.random":
+                return self._numpy_random_finding(source, node, original)
+            return self._stdlib_finding(source, node, original)
+        return None
+
+    def _numpy_random_finding(self, source, node, attr: str) -> Finding | None:
+        if attr in _SEEDED_CONSTRUCTORS:
+            if self._has_seed_argument(node):
+                return None
+            return self.finding(
+                source,
+                node,
+                "DET003",
+                f"np.random.{attr}() without an explicit seed pulls OS "
+                "entropy; pass a seed",
+            )
+        return self.finding(
+            source,
+            node,
+            "DET001",
+            f"np.random.{attr} uses hidden global RNG state; use a seeded "
+            "np.random.default_rng(seed) instead",
+        )
+
+    def _stdlib_finding(self, source, node, attr: str) -> Finding | None:
+        if attr == "Random":
+            if self._has_seed_argument(node):
+                return None
+            return self.finding(
+                source,
+                node,
+                "DET003",
+                "random.Random() without an explicit seed pulls OS entropy; "
+                "pass a seed",
+            )
+        return self.finding(
+            source,
+            node,
+            "DET002",
+            f"stdlib random.{attr} relies on hidden global state; use a "
+            "seeded np.random.default_rng(seed) instead",
+        )
+
+    @staticmethod
+    def _has_seed_argument(node: ast.Call) -> bool:
+        """True when the call passes any non-None positional/keyword seed."""
+        for arg in node.args:
+            if not (isinstance(arg, ast.Constant) and arg.value is None):
+                return True
+        for kw in node.keywords:
+            if kw.arg is None:  # **kwargs: assume the caller knows
+                return True
+            if not (
+                isinstance(kw.value, ast.Constant) and kw.value.value is None
+            ):
+                return True
+        return False

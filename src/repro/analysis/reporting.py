@@ -1,0 +1,47 @@
+"""Text and JSON renderers for analysis findings.
+
+The text form is the human-facing ``path:line:col CODE message`` listing
+with a per-group summary; the JSON form is a stable machine-readable
+document (``{"version": 1, "files_scanned": N, "findings": [...]}``)
+that round-trips through :meth:`repro.analysis.findings.Finding.from_dict`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from .findings import Finding
+
+__all__ = ["render_text", "render_json", "JSON_VERSION"]
+
+JSON_VERSION = 1
+
+
+def render_text(findings: list[Finding], files_scanned: int) -> str:
+    """Human-readable report: sorted findings plus a summary line."""
+    lines = [f.render() for f in sorted(findings)]
+    if findings:
+        by_group = Counter(f.group for f in findings)
+        breakdown = ", ".join(
+            f"{count} {group}" for group, count in sorted(by_group.items())
+        )
+        lines.append(
+            f"\n{len(findings)} finding(s) in {files_scanned} file(s): "
+            f"{breakdown}"
+        )
+    else:
+        lines.append(f"clean: 0 findings in {files_scanned} file(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding], files_scanned: int) -> str:
+    """Machine-readable report; parse with ``json.loads``."""
+    return json.dumps(
+        {
+            "version": JSON_VERSION,
+            "files_scanned": files_scanned,
+            "findings": [f.to_dict() for f in sorted(findings)],
+        },
+        indent=2,
+    )

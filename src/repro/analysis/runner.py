@@ -1,0 +1,155 @@
+"""Analysis driver and command line.
+
+``python -m repro.analysis [--json] [paths...]`` runs every checker over
+the given paths (default: ``src``, ``examples`` and ``benchmarks`` under
+the current directory) and exits nonzero when findings survive the
+suppression comments — the same contract the pytest gate and the CI lint
+job rely on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .config_checks import ConfigChecker
+from .determinism import DeterminismChecker
+from .exports import ExportChecker
+from .findings import Finding
+from .reporting import render_json, render_text
+from .units import UnitChecker
+from .visitor import Checker, collect_sources
+
+__all__ = ["ALL_CHECKERS", "run_analysis", "default_paths", "main"]
+
+#: Every registered checker, in report order.
+ALL_CHECKERS: tuple[Checker, ...] = (
+    UnitChecker(),
+    DeterminismChecker(),
+    ConfigChecker(),
+    ExportChecker(),
+)
+
+_DEFAULT_ROOTS = ("src", "examples", "benchmarks")
+
+
+def default_paths(base: str | Path = ".") -> list[Path]:
+    """The conventional lint surface: src/examples/benchmarks under ``base``."""
+    base = Path(base)
+    found = [base / root for root in _DEFAULT_ROOTS if (base / root).is_dir()]
+    if not found:
+        raise FileNotFoundError(
+            f"none of {_DEFAULT_ROOTS} exist under {base.resolve()}; "
+            "pass explicit paths"
+        )
+    return found
+
+
+def run_analysis(
+    paths: Iterable[str | Path],
+    select: Iterable[str] | None = None,
+) -> tuple[list[Finding], int]:
+    """Run the checkers over ``paths``.
+
+    ``select`` optionally restricts to checker groups (``unit``/``det``/
+    ``cfg``/``exp``) or exact codes (``UNIT002``).  Returns the surviving
+    (non-suppressed) findings and the number of files scanned.
+    """
+    selected = {s.strip() for s in select} if select else None
+    if selected:
+        known = {c.name for c in ALL_CHECKERS} | {
+            code for c in ALL_CHECKERS for code in c.codes
+        }
+        unknown = sorted(selected - known)
+        if unknown:
+            raise ValueError(
+                f"unknown --select token(s): {', '.join(unknown)}; "
+                "expected a checker group (unit/det/cfg/exp) or a code "
+                "like UNIT002"
+            )
+    sources = collect_sources(paths)
+    findings: list[Finding] = []
+    for source in sources:
+        for checker in ALL_CHECKERS:
+            if selected is not None and checker.name not in selected:
+                # The checker may still own explicitly selected codes.
+                if not any(code in selected for code in checker.codes):
+                    continue
+            for finding in checker.check(source):
+                if selected is not None and not (
+                    checker.name in selected or finding.code in selected
+                ):
+                    continue
+                if source.is_suppressed(finding):
+                    continue
+                findings.append(finding)
+    return sorted(findings), len(sources)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Static analysis for the uSystolic reproduction: unit "
+            "consistency, determinism, config invariants, export hygiene."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to analyse (default: src examples benchmarks)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="GROUP_OR_CODE",
+        help="restrict to checker groups or codes (repeatable, "
+        "comma-separated): unit,det,cfg,exp or e.g. UNIT002",
+    )
+    parser.add_argument(
+        "--list-checkers",
+        action="store_true",
+        help="print every checker and finding code, then exit",
+    )
+    return parser
+
+
+def _list_checkers() -> str:
+    lines = []
+    for checker in ALL_CHECKERS:
+        lines.append(f"[{checker.name}] {type(checker).__name__}")
+        for code, description in sorted(checker.codes.items()):
+            lines.append(f"  {code}  {description}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry: 0 clean, 1 findings, 2 usage/path errors."""
+    args = _build_parser().parse_args(argv)
+    if args.list_checkers:
+        print(_list_checkers())
+        return 0
+    select = None
+    if args.select:
+        select = [
+            token for chunk in args.select for token in chunk.split(",") if token
+        ]
+    try:
+        paths = [Path(p) for p in args.paths] or default_paths()
+        findings, files_scanned = run_analysis(paths, select=select)
+    except (FileNotFoundError, SyntaxError, ValueError) as exc:
+        print(f"repro.analysis: error: {exc}", file=sys.stderr)
+        return 2
+    report = (
+        render_json(findings, files_scanned)
+        if args.json
+        else render_text(findings, files_scanned)
+    )
+    print(report)
+    return 1 if findings else 0

@@ -1,0 +1,421 @@
+"""Unit-consistency lint (``UNIT*``).
+
+The reproduction encodes physical units in names — ``energy_pj``,
+``area_mm2``, ``runtime_s``, ``compute_cycles``, ``sram_bytes`` — so a
+dimensional analysis can run over the AST with no type annotations: infer
+a unit for every name/attribute/call from its trailing name tokens,
+propagate through ``+``/``-`` (which must preserve units) and erase
+through ``*``/``/`` (which legitimately convert), then flag:
+
+- ``UNIT001`` — ``+``/``-``/comparison between different dimensions
+  (energy vs cycles);
+- ``UNIT002`` — same dimension, different scale (pJ vs nJ, mm^2 vs um^2)
+  without an explicit conversion factor;
+- ``UNIT003`` — a ``return`` whose inferred unit contradicts the
+  function's own unit suffix (``def area_mm2`` returning ``x_um2``);
+- ``UNIT004`` — assignment to a unit-suffixed name from an expression of
+  a different unit.
+
+Compound units use the ``_per_`` convention: ``bytes_per_s`` is a
+bandwidth, ``pj_per_byte`` an access energy.  A divisor word that is not
+itself a unit token (``per_toggle``, ``per_variable``) does not change
+the dimension — only recognized units form compounds.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Iterator
+
+from .findings import Finding
+from .visitor import Checker, SourceFile
+
+__all__ = ["UnitChecker", "parse_unit", "Unit"]
+
+#: token -> (dimension, scale relative to the dimension's base unit).
+_UNIT_TOKENS: dict[str, tuple[str, float]] = {
+    # energy (base: joule)
+    "j": ("energy", 1.0),
+    "joules": ("energy", 1.0),
+    "mj": ("energy", 1e-3),
+    "uj": ("energy", 1e-6),
+    "nj": ("energy", 1e-9),
+    "pj": ("energy", 1e-12),
+    "fj": ("energy", 1e-15),
+    # power (base: watt)
+    "w": ("power", 1.0),
+    "watts": ("power", 1.0),
+    "mw": ("power", 1e-3),
+    "uw": ("power", 1e-6),
+    "nw": ("power", 1e-9),
+    # time (base: second)
+    "s": ("time", 1.0),
+    "seconds": ("time", 1.0),
+    "ms": ("time", 1e-3),
+    "us": ("time", 1e-6),
+    "ns": ("time", 1e-9),
+    # area (base: square metre)
+    "mm2": ("area", 1e-6),
+    "um2": ("area", 1e-12),
+    # frequency (base: hertz)
+    "hz": ("frequency", 1.0),
+    "khz": ("frequency", 1e3),
+    "mhz": ("frequency", 1e6),
+    "ghz": ("frequency", 1e9),
+    # data volume (base: byte)
+    "byte": ("bytes", 1.0),
+    "bytes": ("bytes", 1.0),
+    "kb": ("bytes", 1024.0),
+    "mb": ("bytes", 2.0**20),
+    "gb": ("bytes", 2.0**30),
+    "bit": ("bits", 1.0),
+    "bits": ("bits", 1.0),
+    # discrete counts
+    "cycle": ("cycles", 1.0),
+    "cycles": ("cycles", 1.0),
+    "macs": ("macs", 1.0),
+    "ge": ("gate-equivalents", 1.0),
+}
+
+#: Tokens that carry a unit even as a whole bare name (``cycles``, ``ge``).
+#: Short tokens like ``s``, ``w`` or ``bits`` only count as *suffixes* —
+#: a loop variable ``s`` or an operand width ``bits`` is not a quantity.
+_BARE_NAME_TOKENS = {"cycles", "bytes", "macs", "ge", "joules", "seconds", "watts"}
+
+#: Whole-name shorthands for common compound units.
+_SHORTHANDS: dict[str, tuple[str, float, str]] = {
+    "gbps": ("bytes", 1e9, "time"),
+    "gops": ("ops", 1e9, "time"),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Unit:
+    """An inferred unit: dimension, scale and optional ``per`` divisor."""
+
+    dim: str
+    scale: float
+    per: str | None
+    token: str
+
+    def describe(self) -> str:
+        """Human-readable form for messages, e.g. ``energy[pj]/bytes``."""
+        base = f"{self.dim}[{self.token}]"
+        return f"{base}/{self.per}" if self.per else base
+
+    def same_dimension(self, other: "Unit") -> bool:
+        return self.dim == other.dim and self.per == other.per
+
+    def same_scale(self, other: "Unit") -> bool:
+        return self.scale == other.scale
+
+
+def parse_unit(name: str) -> Unit | None:
+    """Infer the unit carried by an identifier, or ``None``.
+
+    ``read_energy_per_byte_j`` -> energy[j]/bytes; ``runtime_s`` ->
+    time[s]; ``dram_bandwidth_gbps`` -> bytes[gbps]/time.
+    """
+    tokens = [t for t in name.lower().split("_") if t]
+    if not tokens:
+        return None
+    last = tokens[-1]
+    if last in _SHORTHANDS:
+        dim, scale, per = _SHORTHANDS[last]
+        return Unit(dim=dim, scale=scale, per=per, token=last)
+    if "per" in tokens:
+        i = len(tokens) - 1 - tokens[::-1].index("per")
+        if i + 1 < len(tokens):
+            divisor = _UNIT_TOKENS.get(tokens[i + 1])
+            rest = tokens[:i] + tokens[i + 2 :]
+            num_tok = rest[-1] if rest else None
+            numerator = _UNIT_TOKENS.get(num_tok) if num_tok else None
+            if numerator is not None:
+                if divisor is not None:
+                    return Unit(
+                        dim=numerator[0],
+                        scale=numerator[1],
+                        per=divisor[0],
+                        token=num_tok,
+                    )
+                # Unrecognized divisor word (per_toggle, per_variable):
+                # it does not change the dimension, keep the numerator.
+                return Unit(
+                    dim=numerator[0], scale=numerator[1], per=None, token=num_tok
+                )
+    if last in _UNIT_TOKENS and (len(tokens) > 1 or last in _BARE_NAME_TOKENS):
+        dim, scale = _UNIT_TOKENS[last]
+        return Unit(dim=dim, scale=scale, per=None, token=last)
+    return None
+
+
+class _Unitless:
+    """Sentinel for dimensionless numeric constants (compatible with all)."""
+
+
+UNITLESS = _Unitless()
+
+_ADDITIVE = (ast.Add, ast.Sub)
+_ERASING = (
+    ast.Mult,
+    ast.Div,
+    ast.FloorDiv,
+    ast.Mod,
+    ast.Pow,
+    ast.LShift,
+    ast.RShift,
+    ast.BitAnd,
+    ast.BitOr,
+    ast.BitXor,
+    ast.MatMult,
+)
+_ORDERED_CMP = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+class UnitChecker(Checker):
+    """Dimensional-analysis lint over unit-suffixed names."""
+
+    name = "unit"
+    codes = {
+        "UNIT001": "arithmetic or comparison mixes incompatible unit dimensions",
+        "UNIT002": "arithmetic mixes different scales of the same dimension",
+        "UNIT003": "return value unit contradicts the function's unit suffix",
+        "UNIT004": "assignment unit contradicts the target's unit suffix",
+    }
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        findings: list[Finding] = []
+        seen_binops: set[int] = set()
+
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, _ADDITIVE):
+                if id(node) in seen_binops:
+                    continue
+                self._infer(node, source, findings, seen_binops)
+            elif isinstance(node, ast.Compare):
+                self._check_compare(node, source, findings, seen_binops)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_returns(node, source, findings, seen_binops)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                self._check_assign(node, source, findings, seen_binops)
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, _ADDITIVE
+            ):
+                self._check_augassign(node, source, findings, seen_binops)
+        yield from findings
+
+    # -- inference -------------------------------------------------------
+
+    def _infer(self, node, source, findings, seen):
+        """Infer the unit of ``node``: a Unit, UNITLESS, or None (unknown)."""
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, (int, float)) and not isinstance(
+                node.value, bool
+            ):
+                return UNITLESS
+            return None
+        if isinstance(node, ast.Name):
+            return parse_unit(node.id)
+        if isinstance(node, ast.Attribute):
+            return parse_unit(node.attr)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                return parse_unit(func.attr)
+            if isinstance(func, ast.Name):
+                return parse_unit(func.id)
+            return None
+        if isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, (ast.USub, ast.UAdd)
+        ):
+            return self._infer(node.operand, source, findings, seen)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, _ADDITIVE):
+                seen.add(id(node))
+                left = self._infer(node.left, source, findings, seen)
+                right = self._infer(node.right, source, findings, seen)
+                return self._combine(node, left, right, source, findings)
+            if isinstance(node.op, _ERASING):
+                # Conversions happen through * and /: descend only to find
+                # nested additive conflicts, then erase the unit.
+                for child in (node.left, node.right):
+                    if isinstance(child, ast.BinOp) and isinstance(
+                        child.op, _ADDITIVE
+                    ):
+                        if id(child) not in seen:
+                            self._infer(child, source, findings, seen)
+                return None
+            return None
+        if isinstance(node, ast.IfExp):
+            body = self._infer(node.body, source, findings, seen)
+            orelse = self._infer(node.orelse, source, findings, seen)
+            if isinstance(body, Unit) and isinstance(orelse, Unit):
+                if body.same_dimension(orelse) and body.same_scale(orelse):
+                    return body
+            return None
+        return None
+
+    def _combine(self, node, left, right, source, findings):
+        """Unit of ``left <op> right`` for additive ops, flagging conflicts."""
+        if left is None or right is None:
+            return None
+        if left is UNITLESS:
+            return right
+        if right is UNITLESS:
+            return left
+        if not left.same_dimension(right):
+            findings.append(
+                self.finding(
+                    source,
+                    node,
+                    "UNIT001",
+                    f"incompatible units in '+/-': {left.describe()} vs "
+                    f"{right.describe()}",
+                )
+            )
+            return None
+        if not left.same_scale(right):
+            findings.append(
+                self.finding(
+                    source,
+                    node,
+                    "UNIT002",
+                    f"mixed scales of {left.dim}: [{left.token}] vs "
+                    f"[{right.token}] (convert explicitly)",
+                )
+            )
+            return None
+        return left
+
+    # -- statement-level checks ------------------------------------------
+
+    def _check_compare(self, node, source, findings, seen):
+        if not all(isinstance(op, _ORDERED_CMP) for op in node.ops):
+            return
+        operands = [node.left, *node.comparators]
+        units = [self._infer(o, source, findings, seen) for o in operands]
+        known = [u for u in units if isinstance(u, Unit)]
+        for a, b in zip(known, known[1:]):
+            if not a.same_dimension(b):
+                findings.append(
+                    self.finding(
+                        source,
+                        node,
+                        "UNIT001",
+                        f"comparison mixes units: {a.describe()} vs "
+                        f"{b.describe()}",
+                    )
+                )
+                return
+            if not a.same_scale(b):
+                findings.append(
+                    self.finding(
+                        source,
+                        node,
+                        "UNIT002",
+                        f"comparison mixes scales of {a.dim}: [{a.token}] "
+                        f"vs [{b.token}]",
+                    )
+                )
+                return
+
+    def _check_returns(self, func, source, findings, seen):
+        expected = parse_unit(func.name)
+        if expected is None:
+            return
+        for stmt in self._own_returns(func):
+            if stmt.value is None:
+                continue
+            actual = self._infer(stmt.value, source, findings, seen)
+            if not isinstance(actual, Unit):
+                continue
+            if not actual.same_dimension(expected) or not actual.same_scale(
+                expected
+            ):
+                findings.append(
+                    self.finding(
+                        source,
+                        stmt,
+                        "UNIT003",
+                        f"'{func.name}' returns {actual.describe()} but its "
+                        f"name declares {expected.describe()}",
+                    )
+                )
+
+    @staticmethod
+    def _own_returns(func):
+        """Return statements of ``func`` itself, skipping nested functions."""
+        stack = list(func.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if isinstance(node, ast.Return):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_assign(self, node, source, findings, seen):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        value = node.value
+        if value is None:
+            return
+        actual = self._infer(value, source, findings, seen)
+        if not isinstance(actual, Unit):
+            return
+        for target in targets:
+            if isinstance(target, ast.Name):
+                expected = parse_unit(target.id)
+            elif isinstance(target, ast.Attribute):
+                expected = parse_unit(target.attr)
+            else:
+                continue
+            if expected is None:
+                continue
+            if not actual.same_dimension(expected) or not actual.same_scale(
+                expected
+            ):
+                findings.append(
+                    self.finding(
+                        source,
+                        node,
+                        "UNIT004",
+                        f"assigning {actual.describe()} to a name declaring "
+                        f"{expected.describe()}",
+                    )
+                )
+
+    def _check_augassign(self, node, source, findings, seen):
+        if isinstance(node.target, ast.Name):
+            expected = parse_unit(node.target.id)
+        elif isinstance(node.target, ast.Attribute):
+            expected = parse_unit(node.target.attr)
+        else:
+            return
+        if expected is None:
+            return
+        actual = self._infer(node.value, source, findings, seen)
+        if not isinstance(actual, Unit):
+            return
+        if not actual.same_dimension(expected):
+            findings.append(
+                self.finding(
+                    source,
+                    node,
+                    "UNIT001",
+                    f"incompatible units in '+=/-=': {expected.describe()} "
+                    f"vs {actual.describe()}",
+                )
+            )
+        elif not actual.same_scale(expected):
+            findings.append(
+                self.finding(
+                    source,
+                    node,
+                    "UNIT002",
+                    f"mixed scales of {expected.dim} in '+=/-=': "
+                    f"[{expected.token}] vs [{actual.token}]",
+                )
+            )

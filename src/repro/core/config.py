@@ -11,6 +11,12 @@ from __future__ import annotations
 
 import dataclasses
 
+from ..analysis.contracts import (
+    is_power_of_two,
+    require,
+    require_in_range,
+    require_positive,
+)
 from ..schemes import ComputeScheme, scheme_mac_cycles
 
 __all__ = ["ArrayConfig"]
@@ -32,12 +38,43 @@ class ArrayConfig:
     ebt: int | None = None
 
     def __post_init__(self) -> None:
-        if self.rows < 1 or self.cols < 1:
-            raise ValueError(
-                f"array shape must be positive, got {self.rows}x{self.cols}"
+        self.validate()
+
+    def validate(self) -> "ArrayConfig":
+        """Contract check: raise ``ValueError`` on any impossible field.
+
+        Called from ``__post_init__`` (so an invalid config cannot be
+        constructed) and again by ``simulate_layer``/the CLI at entry, as
+        the runtime half of the ``repro.analysis`` config contract.
+        """
+        require_positive("ArrayConfig", rows=self.rows, cols=self.cols)
+        require(
+            isinstance(self.scheme, ComputeScheme),
+            "ArrayConfig",
+            "scheme",
+            f"must be a ComputeScheme, got {self.scheme!r}",
+        )
+        require(self.bits >= 2, "ArrayConfig", "bits", f"must be >= 2, got {self.bits}")
+        if self.ebt is not None:
+            require_in_range("ArrayConfig", "ebt", self.ebt, 2, self.bits)
+            require(
+                self.scheme.supports_early_termination,
+                "ArrayConfig",
+                "ebt",
+                f"scheme {self.scheme.value} does not support early termination",
             )
-        # Validates bits/ebt/scheme compatibility eagerly.
-        scheme_mac_cycles(self.scheme, self.bits, self.ebt)
+        # Validates bits/ebt/scheme compatibility eagerly, and pins the
+        # power-of-two bitstream-length invariant unary correctness rests on.
+        mac_cycles = scheme_mac_cycles(self.scheme, self.bits, self.ebt)
+        if self.scheme.is_unary:
+            require(
+                is_power_of_two(mac_cycles - 1),
+                "ArrayConfig",
+                "ebt",
+                f"unary bitstream length must be a power of two, got "
+                f"{mac_cycles - 1}",
+            )
+        return self
 
     @property
     def mac_cycles(self) -> int:

@@ -85,6 +85,7 @@ def area_reductions(platform: Platform, bits: int = 8) -> dict[str, float]:
 
 
 def format_figure11(results: list[AreaResult], platform_name: str) -> str:
+    """Render the Figure 11 per-block area table for one platform."""
     headers = ["design", "IREG", "WREG", "MUL", "ACC", "array", "SRAM", "total (mm^2)"]
     rows = []
     for res in results:

@@ -219,6 +219,7 @@ def run_claims(include_slow: bool = False) -> list[ClaimResult]:
 
 
 def format_scorecard(results: list[ClaimResult]) -> str:
+    """Render the claim-by-claim PASS/FAIL scorecard table."""
     rows = [
         [
             "PASS" if r.passed else "FAIL",

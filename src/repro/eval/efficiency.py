@@ -141,6 +141,7 @@ def headline(platform: Platform) -> dict[str, float]:
 
 
 def format_figure14(results: list[EfficiencyResult]) -> str:
+    """Render the Figure 14 energy/power-efficiency-improvement tables."""
     blocks = []
     for res in results:
         headers = ["baseline", "design", "E.E.I. mean", "P.E.I. mean", "E.E.I. max", "P.E.I. max"]

@@ -45,6 +45,7 @@ class EnergyResult:
 
 
 def run_energy_experiment(platform: Platform, bits: int = 8) -> list[EnergyResult]:
+    """Simulate AlexNet under every scheme and collect the energy ledgers."""
     layers = alexnet_layers()
     results = []
     for name, scheme, ebt in scheme_sweep(bits):
@@ -145,6 +146,7 @@ def edp_improvements(
 
 
 def format_figure13(results: list[EnergyResult]) -> str:
+    """Render the Figure 13 per-layer energy-breakdown table."""
     if not results:
         return ""
     layer_names = [r.layer for r in results[0].layers]

@@ -101,6 +101,7 @@ def pareto_frontier(points: list[DesignPoint]) -> list[DesignPoint]:
 
 
 def format_pareto(points: list[DesignPoint], frontier: list[DesignPoint]) -> str:
+    """Render the design-point table, starring the Pareto-frontier rows."""
     on_frontier = {id(p) for p in frontier}
     rows = [
         [

@@ -97,6 +97,7 @@ def run_all(out: TextIO = sys.stdout, fast: bool = False) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Regenerate every paper table/figure; the `python -m repro.eval` entry."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval",
         description="Regenerate every uSystolic paper table/figure.",

@@ -75,6 +75,7 @@ def sram_sizing_sweep(
 
 
 def format_sram_sweep(points: list[SramSweepPoint], title: str) -> str:
+    """Render one SRAM-capacity sweep as a runtime/energy table."""
     rows = [
         [
             f"{p.sram_bytes_per_variable // 1024} KB",

@@ -38,6 +38,7 @@ class ThroughputResult:
 
 
 def run_throughput_experiment(platform: Platform, bits: int = 8) -> list[ThroughputResult]:
+    """Simulate AlexNet under every scheme and collect throughput results."""
     layers = alexnet_layers()
     results = []
     for name, scheme, ebt in scheme_sweep(bits):
@@ -59,6 +60,7 @@ def contention_overheads(results: list[ThroughputResult]) -> dict[str, float]:
 
 
 def format_figure12(results: list[ThroughputResult]) -> str:
+    """Render the Figure 12 per-layer throughput table."""
     if not results:
         return ""
     layer_names = [r.layer for r in results[0].layers]

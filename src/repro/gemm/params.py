@@ -12,6 +12,8 @@ from __future__ import annotations
 import dataclasses
 import enum
 
+from ..analysis.contracts import require, require_positive
+
 __all__ = ["GemmType", "GemmParams"]
 
 
@@ -41,15 +43,32 @@ class GemmParams:
     stride: int = 1
 
     def __post_init__(self) -> None:
-        for field in ("ih", "iw", "ic", "wh", "ww", "oc", "stride"):
-            value = getattr(self, field)
-            if value < 1:
-                raise ValueError(f"{field} must be >= 1, got {value}")
-        if self.wh > self.ih or self.ww > self.iw:
-            raise ValueError(
-                f"weight window ({self.wh}x{self.ww}) exceeds IFM "
-                f"({self.ih}x{self.iw}) in GEMM {self.name!r}"
-            )
+        self.validate()
+
+    def validate(self) -> "GemmParams":
+        """Contract check: every dimension physical, the window inside the IFM.
+
+        Raises ``ValueError`` naming the offending field; called from
+        ``__post_init__`` and by ``simulate_layer`` at entry.
+        """
+        require_positive(
+            "GemmParams",
+            ih=self.ih,
+            iw=self.iw,
+            ic=self.ic,
+            wh=self.wh,
+            ww=self.ww,
+            oc=self.oc,
+            stride=self.stride,
+        )
+        require(
+            self.wh <= self.ih and self.ww <= self.iw,
+            "GemmParams",
+            "wh/ww",
+            f"weight window ({self.wh}x{self.ww}) exceeds IFM "
+            f"({self.ih}x{self.iw}) in GEMM {self.name!r}",
+        )
+        return self
 
     @classmethod
     def matmul(cls, name: str, rows: int, inner: int, cols: int) -> "GemmParams":

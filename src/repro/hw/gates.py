@@ -22,6 +22,7 @@ __all__ = [
     "TECH_32NM",
     "dff",
     "adder",
+    "fast_adder",
     "comparator",
     "array_multiplier",
     "serial_multiplier",
@@ -163,14 +164,17 @@ def mux(bits: int) -> float:
 
 
 def and_gate() -> float:
+    """A single 2-input AND gate."""
     return _GE_AND
 
 
 def xor_gate() -> float:
+    """A single 2-input XOR gate."""
     return _GE_XOR
 
 
 def xnor_gate() -> float:
+    """A single 2-input XNOR gate."""
     return _GE_XNOR
 
 

@@ -10,6 +10,12 @@ from __future__ import annotations
 
 import dataclasses
 
+from ..analysis.contracts import (
+    require,
+    require_in_range,
+    require_positive,
+    require_power_of_two,
+)
 from .cacti import SramSpec, sram_model
 from .dram import DDR3_1GB, DramSpec
 
@@ -32,6 +38,42 @@ class MemoryConfig:
     sram_banks: int = 16
     sram_word_bytes: int = 8
     double_buffered: bool = True
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> "MemoryConfig":
+        """Contract check: raise ``ValueError`` on any impossible field.
+
+        Replaces the old silent acceptance of nonsensical hierarchies
+        (0-byte SRAMs, negative bank counts) that only failed deep inside
+        ``sram_model`` — or not at all when the SRAM was never touched.
+        """
+        if self.sram_bytes_per_variable is not None:
+            require_positive(
+                "MemoryConfig",
+                sram_bytes_per_variable=self.sram_bytes_per_variable,
+            )
+        require_power_of_two(
+            "MemoryConfig",
+            sram_banks=self.sram_banks,
+            sram_word_bytes=self.sram_word_bytes,
+        )
+        require(
+            isinstance(self.dram, DramSpec),
+            "MemoryConfig",
+            "dram",
+            f"must be a DramSpec, got {type(self.dram).__name__}",
+        )
+        require_positive(
+            "MemoryConfig",
+            dram_peak_bandwidth_bytes_per_s=self.dram.peak_bandwidth_bytes_per_s,
+        )
+        require_positive("MemoryConfig", dram_efficiency=self.dram.efficiency)
+        require_in_range(
+            "MemoryConfig", "dram_efficiency", self.dram.efficiency, 0.0, 1.0
+        )
+        return self
 
     @property
     def has_sram(self) -> bool:

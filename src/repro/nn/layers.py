@@ -158,6 +158,8 @@ class Linear(Layer):
 
 
 class ReLU(Layer):
+    """Rectified linear unit: max(x, 0) with a pass-through mask gradient."""
+
     def forward(self, x: np.ndarray, spec: QuantSpec = FP32) -> np.ndarray:
         self._mask = x > 0
         return np.where(self._mask, x, 0.0)
@@ -196,6 +198,8 @@ class MaxPool2d(Layer):
 
 
 class Flatten(Layer):
+    """Collapse every non-batch axis into one feature vector."""
+
     def forward(self, x: np.ndarray, spec: QuantSpec = FP32) -> np.ndarray:
         self._shape = x.shape
         return x.reshape(x.shape[0], -1)
@@ -205,6 +209,8 @@ class Flatten(Layer):
 
 
 class GlobalAvgPool(Layer):
+    """Average over the spatial axes, one value per channel."""
+
     def forward(self, x: np.ndarray, spec: QuantSpec = FP32) -> np.ndarray:
         self._shape = x.shape
         return x.mean(axis=(1, 2))

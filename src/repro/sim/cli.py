@@ -34,6 +34,7 @@ _SCHEMES = {s.value: s for s in ComputeScheme}
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.sim`` argument parser (exposed for docs/tests)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.sim",
         description="uSystolic-Sim: simulate GEMM workloads on a systolic array.",
@@ -102,22 +103,32 @@ def _layer_rows(results: list[LayerResult]) -> list[list[str]]:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    """CLI entry: build the config, validate it, simulate, print the tables."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
     platform: Platform = _PLATFORMS[args.platform]
     scheme = _SCHEMES[args.scheme]
     layers = _load_layers(args)
-    array = ArrayConfig(
-        rows=platform.rows,
-        cols=platform.cols,
-        scheme=scheme,
-        bits=args.bits,
-        ebt=args.ebt,
-    )
-    memory = platform.memory_for(scheme)
-    if args.no_sram:
-        memory = memory.without_sram()
-    elif args.keep_sram:
-        memory = platform.memory
+    # Entry contract (repro.analysis): surface impossible configurations as
+    # a clean usage error instead of a traceback mid-simulation.
+    try:
+        array = ArrayConfig(
+            rows=platform.rows,
+            cols=platform.cols,
+            scheme=scheme,
+            bits=args.bits,
+            ebt=args.ebt,
+        ).validate()
+        memory = platform.memory_for(scheme)
+        if args.no_sram:
+            memory = memory.without_sram()
+        elif args.keep_sram:
+            memory = platform.memory
+        memory.validate()
+        for layer in layers:
+            layer.validate()
+    except ValueError as exc:
+        parser.error(str(exc))
     results = simulate_network(layers, array, memory)
 
     headers = [

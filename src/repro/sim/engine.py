@@ -44,6 +44,11 @@ def simulate_layer(
     tech: TechNode = TECH_32NM,
 ) -> LayerResult:
     """Simulate one GEMM layer; see module docstring for the model."""
+    # Entry contract (repro.analysis): reject impossible configs loudly even
+    # when they were built via dataclasses.replace or deserialization paths.
+    params.validate()
+    array.validate()
+    memory.validate()
     tiling = tile_gemm(params, array.rows, array.cols)
     sched = schedule_layer(tiling, array.mac_cycles)
     traffic = profile_traffic(params, tiling, array.bits, memory)

@@ -103,7 +103,11 @@ def profile_traffic(
     if memory.has_sram:
         ifm_fits = params.ifm_bytes(bits) <= usable
         if ifm_fits:
-            ifm_dram_read = params.ifm_bytes(bits)
+            # Demand traffic: a strided window (stride > window edge) can
+            # leave the im2col stream *smaller* than the IFM footprint, and
+            # only touched pixels are ever fetched — without the cap, adding
+            # SRAM would inflate DRAM traffic above the bare demand stream.
+            ifm_dram_read = min(params.ifm_bytes(bits), ifm_stream_bytes)
         else:
             # Each column fold re-streams the IFM from DRAM through the
             # (too-small) buffer; never more than the raw im2col stream.

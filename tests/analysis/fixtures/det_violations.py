@@ -1,0 +1,35 @@
+"""Fixture: known determinism violations (never imported).
+
+Line numbers are asserted by ``tests/analysis/test_checkers.py``.
+"""
+
+import random
+
+import numpy as np
+from numpy.random import rand
+
+__all__ = ["global_state", "unseeded", "stdlib_random", "sanctioned_ok"]
+
+
+def global_state() -> float:
+    """DET001 on lines 16 and 17."""
+    values = np.random.rand(4)  # line 16
+    noise = rand(2)  # line 17
+    return float(values.sum() + noise.sum())
+
+
+def unseeded():
+    """DET003 on line 23; the seeded call just below is clean."""
+    bad = np.random.default_rng()  # line 23
+    good = np.random.default_rng(42)
+    return bad, good
+
+
+def stdlib_random() -> float:
+    """DET002 on line 30."""
+    return random.random()  # line 30
+
+
+def sanctioned_ok() -> float:
+    """A suppressed legacy call: the ignore comment keeps it clean."""
+    return float(np.random.rand())  # repro-lint: ignore[det]

@@ -1,0 +1,23 @@
+"""Fixture: known export-hygiene violations (never imported).
+
+Line numbers are asserted by ``tests/analysis/test_checkers.py``.
+"""
+
+__all__ = [
+    "documented",
+    "phantom",  # line 8: EXP001 — never defined below
+]
+
+
+def documented() -> int:
+    """In __all__ and documented: clean."""
+    return 1
+
+
+def forgotten() -> int:  # line 17: EXP002 (missing from __all__)
+    """Public but absent from __all__."""
+    return 2
+
+
+def undocumented() -> int:  # line 22: EXP002 and EXP004
+    return 3

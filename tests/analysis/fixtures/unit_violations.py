@@ -1,0 +1,30 @@
+"""Fixture: known unit-consistency violations (never imported).
+
+Line numbers are asserted by ``tests/analysis/test_checkers.py`` — keep
+the statements exactly where they are.
+"""
+
+__all__ = ["mixed_dimensions", "mixed_scales", "area_mm2", "assign_mismatch"]
+
+
+def mixed_dimensions(energy_pj: float, latency_cycles: int) -> float:
+    """UNIT001 on line 12: energy + cycles."""
+    return energy_pj + latency_cycles  # line 12
+
+
+def mixed_scales(energy_pj: float, energy_nj: float) -> float:
+    """UNIT002 on line 17: pJ + nJ without a conversion."""
+    return energy_pj + energy_nj  # line 17
+
+
+def area_mm2(block_um2: float) -> float:
+    """UNIT003 on line 22: returns um^2 from a function declaring mm^2."""
+    return block_um2  # line 22
+
+
+def assign_mismatch(compute_cycles: int) -> float:
+    """UNIT004 on line 27: cycles assigned to a seconds-suffixed name."""
+    runtime_s = compute_cycles  # line 27
+    suppressed_s = compute_cycles  # repro-lint: ignore[unit]
+    explicit_s = compute_cycles / 400e6  # conversion erases the unit
+    return runtime_s + suppressed_s + explicit_s

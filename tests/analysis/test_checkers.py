@@ -1,0 +1,104 @@
+"""Each checker against fixture files with known violations.
+
+Every assertion pins the finding *code*, *path* and *line* so a checker
+regression (wrong anchor, missed case, new false positive) fails loudly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import run_analysis
+from repro.analysis.determinism import DeterminismChecker
+from repro.analysis.visitor import SourceFile
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _findings(name: str, select=None):
+    findings, files_scanned = run_analysis([FIXTURES / name], select=select)
+    assert files_scanned == 1
+    return [(f.code, f.line) for f in findings]
+
+
+class TestUnitFixture:
+    def test_expected_findings(self):
+        assert _findings("unit_violations.py", select=["unit"]) == [
+            ("UNIT001", 12),
+            ("UNIT002", 17),
+            ("UNIT003", 22),
+            ("UNIT004", 27),
+        ]
+
+    def test_paths_point_at_fixture(self):
+        findings, _ = run_analysis([FIXTURES / "unit_violations.py"])
+        assert all(f.path.endswith("unit_violations.py") for f in findings)
+
+    def test_suppressed_line_is_clean(self):
+        codes_lines = _findings("unit_violations.py", select=["unit"])
+        assert (
+            "UNIT004",
+            28,
+        ) not in codes_lines, "suppression comment must silence line 28"
+
+
+class TestDeterminismFixture:
+    def test_expected_findings(self):
+        assert _findings("det_violations.py", select=["det"]) == [
+            ("DET001", 16),
+            ("DET001", 17),
+            ("DET003", 23),
+            ("DET002", 30),
+        ]
+
+    def test_unary_package_is_sanctioned(self):
+        text = "import numpy as np\nx = np.random.rand()\n"
+        sanctioned = SourceFile.parse("src/repro/unary/fake.py", text=text)
+        assert list(DeterminismChecker().check(sanctioned)) == []
+        elsewhere = SourceFile.parse("src/repro/sim/fake.py", text=text)
+        assert [f.code for f in DeterminismChecker().check(elsewhere)] == [
+            "DET001"
+        ]
+
+
+class TestConfigFixture:
+    def test_expected_findings(self):
+        assert _findings("cfg_violations.py", select=["cfg"]) == [
+            ("CFG001", 12),
+            ("CFG002", 12),
+            ("CFG004", 24),
+        ]
+
+    def test_compliant_class_is_clean(self):
+        codes = [c for c, _ in _findings("cfg_violations.py", select=["cfg"])]
+        # GoodConfig (validate + frozen + __post_init__) adds nothing.
+        assert len(codes) == 3
+
+
+class TestExportFixture:
+    def test_expected_findings(self):
+        assert _findings("exp_violations.py", select=["exp"]) == [
+            ("EXP001", 8),
+            ("EXP002", 17),
+            ("EXP002", 22),
+            ("EXP004", 22),
+        ]
+
+
+class TestSelect:
+    def test_select_by_code(self):
+        assert _findings("unit_violations.py", select=["UNIT003"]) == [
+            ("UNIT003", 22)
+        ]
+
+    def test_select_by_group_excludes_others(self):
+        findings, _ = run_analysis(
+            [FIXTURES / "det_violations.py"], select=["unit"]
+        )
+        assert findings == []
+
+    def test_whole_fixture_dir(self):
+        findings, files_scanned = run_analysis([FIXTURES])
+        assert files_scanned == 5  # 4 fixtures + __init__.py
+        groups = {f.group for f in findings}
+        assert groups == {"unit", "det", "cfg", "exp"}

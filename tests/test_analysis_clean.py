@@ -1,0 +1,36 @@
+"""Gate: the tree must stay lint-clean under ``python -m repro.analysis``.
+
+Any PR that introduces a unit mix-up, hidden-global-state randomness, an
+unvalidated config dataclass or export drift fails here — the pytest-side
+twin of the CI lint job.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import render_json, run_analysis
+from repro.analysis.runner import default_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_default_paths_exist():
+    paths = default_paths(REPO_ROOT)
+    names = {p.name for p in paths}
+    assert {"src", "examples", "benchmarks"} <= names
+
+
+def test_tree_is_lint_clean():
+    findings, files_scanned = run_analysis(default_paths(REPO_ROOT))
+    report = "\n".join(f.render() for f in findings)
+    assert not findings, f"repro.analysis found {len(findings)} issue(s):\n{report}"
+    assert files_scanned > 100  # the whole tree, not a subset
+
+
+def test_json_report_round_trips_on_full_tree():
+    findings, files_scanned = run_analysis(default_paths(REPO_ROOT))
+    doc = json.loads(render_json(findings, files_scanned))
+    assert doc["version"] == 1
+    assert doc["findings"] == []
