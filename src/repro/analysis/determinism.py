@@ -13,6 +13,15 @@ This pass flags the three ways hidden global state sneaks in:
   (``np.random.default_rng()``, ``np.random.PCG64()``,
   ``random.Random()``), which silently pulls OS entropy.
 
+``DET004`` guards the repo's caching discipline instead of its
+randomness: ``functools.lru_cache`` on an *instance method* keeps every
+``self`` alive in the cache forever (a leak, and cross-instance state
+that survives reconfiguration), and on a function whose parameters are
+annotated as numpy arrays it raises ``TypeError`` at call time because
+arrays are unhashable.  Cacheable work belongs on module-level functions
+of hashable config values — or in the content-addressed
+``repro.jobs`` store.
+
 The ``repro.unary`` package is a sanctioned site: its Sobol/LFSR modules
 *are* the deterministic sequence generators, so it is exempt.
 """
@@ -58,6 +67,8 @@ class DeterminismChecker(Checker):
         "DET001": "numpy legacy global-state RNG call (np.random.*)",
         "DET002": "stdlib 'random' module usage (hidden global state)",
         "DET003": "RNG constructed without an explicit seed",
+        "DET004": "functools.lru_cache on an instance method or "
+        "array-annotated function",
     }
 
     def check(self, source: SourceFile) -> Iterator[Finding]:
@@ -79,6 +90,7 @@ class DeterminismChecker(Checker):
             )
             if finding is not None:
                 yield finding
+        yield from self._check_caches(source)
 
     @staticmethod
     def _collect_imports(tree: ast.Module):
@@ -198,6 +210,117 @@ class DeterminismChecker(Checker):
             f"stdlib random.{attr} relies on hidden global state; use a "
             "seeded np.random.default_rng(seed) instead",
         )
+
+    # ------------------------------------------------------------------
+    # DET004: lru_cache misuse
+    # ------------------------------------------------------------------
+    def _check_caches(self, source: SourceFile) -> Iterator[Finding]:
+        """Flag ``functools.lru_cache`` where it leaks or cannot hash."""
+        functools_aliases, cache_names = self._collect_cache_imports(source.tree)
+        if not functools_aliases and not cache_names:
+            return
+        methods = {
+            func
+            for node in ast.walk(source.tree)
+            if isinstance(node, ast.ClassDef)
+            for func in node.body
+            if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            cache_decorator = next(
+                (
+                    dec
+                    for dec in node.decorator_list
+                    if self._is_cache_decorator(
+                        dec, functools_aliases, cache_names
+                    )
+                ),
+                None,
+            )
+            if cache_decorator is None:
+                continue
+            if (
+                node in methods
+                and not self._is_static(node)
+                and node.args.args
+                and node.args.args[0].arg == "self"
+            ):
+                yield self.finding(
+                    source,
+                    cache_decorator,
+                    "DET004",
+                    f"lru_cache on instance method {node.name!r} keeps every "
+                    "self alive in the cache; hoist the cached work to a "
+                    "module-level function of hashable config values",
+                )
+                continue
+            array_params = [
+                arg.arg
+                for arg in (
+                    node.args.posonlyargs + node.args.args + node.args.kwonlyargs
+                )
+                if arg.annotation is not None
+                and self._is_array_annotation(arg.annotation)
+            ]
+            if array_params:
+                yield self.finding(
+                    source,
+                    cache_decorator,
+                    "DET004",
+                    f"lru_cache on {node.name!r} whose parameter(s) "
+                    f"{', '.join(array_params)} are numpy arrays — arrays "
+                    "are unhashable, so the cache raises TypeError at call "
+                    "time; key on hashable scalars instead",
+                )
+
+    @staticmethod
+    def _collect_cache_imports(tree: ast.Module) -> tuple[set[str], set[str]]:
+        """Local aliases of the functools module and its cache decorators."""
+        functools_aliases: set[str] = set()
+        cache_names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "functools":
+                        functools_aliases.add(alias.asname or "functools")
+            elif isinstance(node, ast.ImportFrom) and node.module == "functools":
+                for alias in node.names:
+                    if alias.name in ("lru_cache", "cache"):
+                        cache_names.add(alias.asname or alias.name)
+        return functools_aliases, cache_names
+
+    @staticmethod
+    def _is_cache_decorator(
+        dec: ast.expr, functools_aliases: set[str], cache_names: set[str]
+    ) -> bool:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr in ("lru_cache", "cache")
+            and isinstance(target.value, ast.Name)
+            and target.value.id in functools_aliases
+        ):
+            return True
+        return isinstance(target, ast.Name) and target.id in cache_names
+
+    @staticmethod
+    def _is_static(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        for dec in node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            name = target.attr if isinstance(target, ast.Attribute) else (
+                target.id if isinstance(target, ast.Name) else None
+            )
+            if name == "staticmethod":
+                return True
+        return False
+
+    @staticmethod
+    def _is_array_annotation(annotation: ast.expr) -> bool:
+        """True for annotations naming numpy arrays (ndarray / NDArray)."""
+        text = ast.unparse(annotation)
+        return "ndarray" in text or "NDArray" in text
 
     @staticmethod
     def _has_seed_argument(node: ast.Call) -> bool:

@@ -9,7 +9,8 @@ from __future__ import annotations
 
 import dataclasses
 
-from ..hw.synthesis import SynthesisReport, synthesize
+from ..hw.synthesis import SynthesisReport
+from ..jobs.runner import synthesize
 from ..memory.hierarchy import MemoryConfig
 from ..schemes import ComputeScheme
 from ..workloads.presets import Platform

@@ -14,7 +14,7 @@ from typing import Callable
 
 from ..fsu import fsu_weight_storage
 from ..schemes import ComputeScheme as CS
-from ..sim.engine import simulate_layer, simulate_network
+from ..jobs.runner import simulate_layer, simulate_network
 from ..unary.multiply import umul_bipolar, umul_unipolar
 from ..workloads.alexnet import alexnet_layers
 from ..workloads.presets import CLOUD, EDGE

@@ -1,0 +1,58 @@
+"""Content-addressed experiment store + parallel orchestration.
+
+The jobs layer sits between the evaluation drivers and the simulator:
+every ``simulate_layer``/``simulate_network`` call routes through the
+active :class:`JobRunner`, which deduplicates identical simulations
+in-process, persists results in a content-addressed on-disk store
+(``--cache-dir``), and fans independent jobs out across worker processes
+(``--jobs N``) with deterministic, ordered result collection.  See
+``docs/jobs.md`` for the store layout, key schema and invalidation rules.
+"""
+
+from .keys import (
+    SCHEMA_VERSION,
+    canonical,
+    canonical_json,
+    fingerprint,
+    simulation_key,
+    synthesis_key,
+)
+from .pool import SimulationJob, SimulationOutcome, execute_simulation, run_simulations
+from .runner import (
+    JobGraph,
+    JobRunner,
+    JobTiming,
+    configure,
+    get_runner,
+    set_runner,
+    simulate_layer,
+    simulate_network,
+    synthesize,
+    using_runner,
+)
+from .store import ResultStore, StoreStats
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "canonical",
+    "canonical_json",
+    "fingerprint",
+    "simulation_key",
+    "synthesis_key",
+    "SimulationJob",
+    "SimulationOutcome",
+    "execute_simulation",
+    "run_simulations",
+    "JobGraph",
+    "JobRunner",
+    "JobTiming",
+    "configure",
+    "get_runner",
+    "set_runner",
+    "simulate_layer",
+    "simulate_network",
+    "synthesize",
+    "using_runner",
+    "ResultStore",
+    "StoreStats",
+]

@@ -1,0 +1,125 @@
+"""Canonical, process-stable content hashing of experiment configurations.
+
+A *job key* identifies a simulation by **what** it computes: the frozen
+configuration dataclasses (:class:`~repro.gemm.params.GemmParams`,
+:class:`~repro.core.config.ArrayConfig`,
+:class:`~repro.memory.hierarchy.MemoryConfig`), the technology node, and a
+schema version that is bumped whenever the simulator's semantics change.
+Two processes that would run the same simulation derive byte-identical
+keys — no object ids, no ``hash()`` (which ``PYTHONHASHSEED`` salts), no
+pickle (whose byte stream is not canonical across versions).
+
+The canonical form is a JSON document with sorted keys and no whitespace;
+the key is its SHA-256 hex digest.  Floats round-trip exactly because
+``json`` emits the shortest ``repr`` that reconstructs the value.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any, Callable
+
+from ..hw.gates import TechNode
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "canonical",
+    "canonical_json",
+    "fingerprint",
+    "simulation_key",
+    "synthesis_key",
+    "register_encoder",
+]
+
+#: Bump when `simulate_layer`'s semantics change so stale cached results
+#: can never be mistaken for current ones.
+SCHEMA_VERSION = 1
+
+#: type -> callable turning an instance into canonical-izable primitives.
+#: For configuration objects that are not dataclasses (e.g. TechNode).
+_ENCODERS: dict[type, Callable[[Any], Any]] = {}
+
+
+def register_encoder(cls: type, encode: Callable[[Any], Any]) -> None:
+    """Register a canonical encoder for a non-dataclass config type."""
+    _ENCODERS[cls] = encode
+
+
+register_encoder(
+    TechNode,
+    lambda t: {
+        "name": t.name,
+        "area_per_ge_um2": t.area_per_ge_um2,
+        "leakage_per_ge_w": t.leakage_per_ge_w,
+        "energy_per_toggle_j": t.energy_per_toggle_j,
+        "frequency_hz": t.frequency_hz,
+    },
+)
+
+
+def canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-able structure with a canonical layout.
+
+    Dataclasses become ``["dataclass", ClassName, [[field, value], ...]]``
+    with fields sorted by name, enums become ``["enum", ClassName, value]``,
+    sequences become lists, and dict keys are emitted sorted by
+    ``json.dumps``.  Raises ``TypeError`` for types without a canonical
+    form (functions, modules, arbitrary objects) rather than guessing.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return ["enum", type(obj).__name__, canonical(obj.value)]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = sorted(f.name for f in dataclasses.fields(obj))
+        return [
+            "dataclass",
+            type(obj).__name__,
+            [[name, canonical(getattr(obj, name))] for name in fields],
+        ]
+    for cls, encode in _ENCODERS.items():
+        if isinstance(obj, cls):
+            return ["object", cls.__name__, canonical(encode(obj))]
+    if isinstance(obj, (list, tuple)):
+        return ["seq", [canonical(item) for item in obj]]
+    if isinstance(obj, dict):
+        items = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise TypeError(f"canonical dict keys must be str, got {key!r}")
+            items[key] = canonical(value)
+        return ["map", items]
+    raise TypeError(f"no canonical form for {type(obj).__name__}: {obj!r}")
+
+
+def canonical_json(obj: Any) -> str:
+    """The canonical JSON text of ``obj`` (sorted keys, no whitespace)."""
+    return json.dumps(canonical(obj), sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint(kind: str, **parts: Any) -> str:
+    """SHA-256 key of a job: its kind, schema version and config parts."""
+    document = {
+        "schema": SCHEMA_VERSION,
+        "kind": kind,
+        "parts": {name: canonical(value) for name, value in parts.items()},
+    }
+    text = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def simulation_key(params, array, memory, tech) -> str:
+    """The content key of one ``simulate_layer(params, array, memory, tech)``."""
+    return fingerprint(
+        "simulate_layer", params=params, array=array, memory=memory, tech=tech
+    )
+
+
+def synthesis_key(scheme, rows: int, cols: int, bits: int, tech) -> str:
+    """The content key of one ``synthesize(scheme, rows, cols, bits, tech)``."""
+    return fingerprint(
+        "synthesize", scheme=scheme, rows=rows, cols=cols, bits=bits, tech=tech
+    )

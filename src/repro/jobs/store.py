@@ -1,0 +1,132 @@
+"""On-disk content-addressed result store.
+
+Each job result lives in its own JSON file under the cache root, addressed
+by the job key: ``<root>/<key[:2]>/<key>.json``.  The two-character fan-out
+keeps directories small even for hundred-thousand-entry sweeps.
+
+Robustness contract:
+
+- **atomic writes** — results are written to a temporary file in the same
+  directory and ``os.replace``-d into place, so a killed process can never
+  leave a half-written entry that a later run would read;
+- **corruption-tolerant reads** — unparsable files, schema mismatches and
+  key mismatches (e.g. a file copied to the wrong name) all read as a
+  *miss*, never as an exception or a wrong result;
+- **self-describing entries** — every file carries the store schema, the
+  job key and kind it answers, so entries survive being moved between
+  machines and audits can ``json.load`` them directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["ResultStore", "StoreStats"]
+
+#: Layout version of the on-disk envelope (distinct from the *job key*
+#: schema in :mod:`repro.jobs.keys`, which versions simulator semantics).
+STORE_SCHEMA = 1
+
+
+@dataclasses.dataclass
+class StoreStats:
+    """Read/write counters of one :class:`ResultStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class ResultStore:
+    """A directory of content-addressed JSON job results."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = StoreStats()
+
+    def path_for(self, key: str) -> Path:
+        """The file that holds (or would hold) ``key``'s result."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str, kind: str) -> Any | None:
+        """The stored payload for ``key``, or ``None`` on any miss.
+
+        Corrupt files (truncated JSON, wrong envelope, foreign schema,
+        mismatched key/kind) count in ``stats.corrupt`` and read as a
+        miss — the job simply re-runs and overwrites the bad entry.
+        """
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            envelope = json.loads(text)
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("store_schema") != STORE_SCHEMA
+                or envelope.get("key") != key
+                or envelope.get("kind") != kind
+                or "payload" not in envelope
+            ):
+                raise ValueError("bad envelope")
+        except (json.JSONDecodeError, ValueError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return envelope["payload"]
+
+    def put(self, key: str, kind: str, payload: Any) -> Path:
+        """Atomically persist ``payload`` as the result of job ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "store_schema": STORE_SCHEMA,
+            "key": key,
+            "kind": kind,
+            "payload": payload,
+        }
+        text = json.dumps(envelope, sort_keys=True, separators=(",", ":"))
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:8]}.", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    def iter_keys(self) -> Iterator[str]:
+        """Every key currently stored (sorted, for determinism)."""
+        for path in sorted(self.root.glob("??/*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_keys())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in sorted(self.root.glob("??/*.json")):
+            path.unlink()
+            removed += 1
+        return removed

@@ -44,6 +44,25 @@ class EnergyLedger:
         """On-chip + off-chip DRAM dynamic access energy (Figure 13c/d)."""
         return self.on_chip + self.dram_dynamic
 
+    def to_json(self) -> dict:
+        """JSON-able field dict (round-trips via :meth:`from_json`).
+
+        Floats survive exactly: ``json`` emits the shortest ``repr`` that
+        reconstructs each value, so a round-trip is bit-identical.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "EnergyLedger":
+        """Rebuild an :class:`EnergyLedger` from :meth:`to_json` output."""
+        return cls(
+            array_dynamic=data["array_dynamic"],
+            array_leakage=data["array_leakage"],
+            sram_dynamic=data["sram_dynamic"],
+            sram_leakage=data["sram_leakage"],
+            dram_dynamic=data["dram_dynamic"],
+        )
+
 
 @dataclasses.dataclass(frozen=True)
 class LayerResult:
@@ -116,6 +135,40 @@ class LayerResult:
         if power == 0:
             return 0.0
         return self.throughput_gops / power
+
+    def to_json(self) -> dict:
+        """JSON-able nested dict (round-trips via :meth:`from_json`).
+
+        This is the payload the ``repro.jobs`` result store persists; only
+        the stored fields are serialized — every derived property is
+        recomputed on load, so a round-trip preserves them exactly.
+        """
+        return {
+            "layer": self.layer,
+            "config_label": self.config_label,
+            "macs": self.macs,
+            "compute_cycles": self.compute_cycles,
+            "total_cycles": self.total_cycles,
+            "runtime_s": self.runtime_s,
+            "utilization": self.utilization,
+            "traffic": self.traffic.to_json(),
+            "energy": self.energy.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "LayerResult":
+        """Rebuild a :class:`LayerResult` from :meth:`to_json` output."""
+        return cls(
+            layer=data["layer"],
+            config_label=data["config_label"],
+            macs=data["macs"],
+            compute_cycles=data["compute_cycles"],
+            total_cycles=data["total_cycles"],
+            runtime_s=data["runtime_s"],
+            utilization=data["utilization"],
+            traffic=TrafficProfile.from_json(data["traffic"]),
+            energy=EnergyLedger.from_json(data["energy"]),
+        )
 
 
 def aggregate_results(results: list[LayerResult]) -> dict[str, float]:

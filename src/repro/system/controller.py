@@ -20,7 +20,7 @@ from ..core.config import ArrayConfig
 from ..gemm.params import GemmParams
 from ..memory.hierarchy import MemoryConfig
 from ..schemes import ComputeScheme
-from ..sim.engine import simulate_network
+from ..jobs.runner import simulate_network
 from .battery import Battery
 
 __all__ = ["AdaptiveEbtController", "StreamOutcome", "simulate_inference_stream"]

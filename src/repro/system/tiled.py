@@ -16,7 +16,7 @@ import dataclasses
 from ..core.config import ArrayConfig
 from ..gemm.params import GemmParams
 from ..memory.hierarchy import MemoryConfig
-from ..sim.engine import simulate_layer
+from ..jobs.runner import simulate_layer
 from ..workloads.presets import Platform
 
 __all__ = ["Interconnect", "TiledSystem", "ScalingPoint", "scaling_curve"]

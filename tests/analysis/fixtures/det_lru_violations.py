@@ -1,0 +1,31 @@
+"""Fixture: DET004 lru_cache misuse (line numbers pinned by tests)."""
+
+import functools
+from functools import lru_cache
+
+import numpy as np
+
+
+class Simulator:
+    @functools.lru_cache(maxsize=None)
+    def cycles(self, bits: int) -> int:  # DET004 line 10: leaks self
+        return bits * 2
+
+    @lru_cache
+    def label(self) -> str:  # DET004 line 14: leaks self
+        return "sim"
+
+    @staticmethod
+    @functools.lru_cache(maxsize=8)
+    def table(bits: int) -> int:  # compliant: staticmethod, hashable arg
+        return 1 << bits
+
+
+@functools.cache
+def profile(trace: np.ndarray) -> float:  # DET004 line 24: unhashable array
+    return float(trace.sum())
+
+
+@lru_cache(maxsize=None)
+def count_table(mag_bits: int) -> int:  # compliant: module level, int key
+    return 1 << mag_bits

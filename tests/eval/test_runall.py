@@ -1,17 +1,19 @@
 """Tests for the run-all driver's interface (full runs live in benches)."""
 
 import io
+import re
 
 import pytest
 
 from repro.eval import runall
+from repro.jobs.runner import JobRunner, get_runner, using_runner
 
 
 class TestMainInterface:
     def test_parser_accepts_fast(self, monkeypatch):
         called = {}
 
-        def fake_run_all(out=None, fast=False):
+        def fake_run_all(out=None, fast=False, log=None):
             called["fast"] = fast
 
         monkeypatch.setattr(runall, "run_all", fake_run_all)
@@ -21,7 +23,9 @@ class TestMainInterface:
     def test_parser_default_not_fast(self, monkeypatch):
         called = {}
         monkeypatch.setattr(
-            runall, "run_all", lambda out=None, fast=False: called.update(fast=fast)
+            runall,
+            "run_all",
+            lambda out=None, fast=False, log=None: called.update(fast=fast),
         )
         assert runall.main([]) == 0
         assert called["fast"] is False
@@ -30,6 +34,42 @@ class TestMainInterface:
         with pytest.raises(SystemExit):
             runall.main(["--bogus"])
 
+    def test_jobs_and_cache_flags_build_the_runner(self, tmp_path, monkeypatch):
+        seen = {}
+        monkeypatch.setattr(
+            runall,
+            "run_all",
+            lambda out=None, fast=False, log=None: seen.update(
+                runner=get_runner()
+            ),
+        )
+        before = get_runner()
+        assert runall.main(["--jobs", "3", "--cache-dir", str(tmp_path)]) == 0
+        runner = seen["runner"]
+        assert runner.workers == 3
+        assert runner.store is not None
+        assert str(runner.store.root) == str(tmp_path)
+        # The configured runner must not leak past main().
+        assert get_runner() is before
+
+    def test_no_cache_disables_store_and_memo(self, tmp_path, monkeypatch):
+        seen = {}
+        monkeypatch.setattr(
+            runall,
+            "run_all",
+            lambda out=None, fast=False, log=None: seen.update(
+                runner=get_runner()
+            ),
+        )
+        assert (
+            runall.main(["--no-cache", "--cache-dir", str(tmp_path)]) == 0
+        )
+        runner = seen["runner"]
+        assert runner.store is None
+        assert runner.memoize is False
+
+
+class TestTimedSection:
     def test_timed_section_format(self):
         out = io.StringIO()
         runall._timed(out, "Section", lambda: "body text")
@@ -37,3 +77,28 @@ class TestMainInterface:
         assert "Section" in text
         assert "body text" in text
         assert "=" * 20 in text
+
+    def test_banner_carries_no_timing(self):
+        # Byte-identical stdout between cold/warm runs depends on this.
+        out = io.StringIO()
+        runall._timed(out, "Section", lambda: "body")
+        assert not re.search(r"\d+\.\d+s", out.getvalue())
+
+    def test_progress_lines_go_to_log(self):
+        out, log = io.StringIO(), io.StringIO()
+        with using_runner(JobRunner()):
+            runall._timed(out, "Section", lambda: "body", log=log)
+        text = log.getvalue()
+        assert "[start] Section" in text
+        assert re.search(r"\[done\]\s+Section\s+\d+\.\d+s", text)
+        assert "cached" in text and "computed" in text
+        assert "[start]" not in out.getvalue()
+
+
+class TestCacheSummaryLine:
+    def test_machine_parseable_format(self):
+        with using_runner(JobRunner()):
+            line = runall.cache_summary_line()
+        assert re.fullmatch(
+            r"cache: sims=\d+ hits=\d+ misses=\d+ hit_rate=\d+\.\d%", line
+        )

@@ -1,0 +1,88 @@
+"""``python -m repro.jobs``: grid driver, summary, warm-run hit rate."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.jobs.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert not args.no_cache and not args.json
+
+    def test_unknown_flag_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--bogus"])
+
+
+class TestDriver:
+    def _run(self, argv, capsys):
+        log = io.StringIO()
+        assert main(argv, log=log) == 0
+        return capsys.readouterr().out, log.getvalue()
+
+    def test_json_summary_and_warm_hit_rate(self, tmp_path, capsys):
+        argv = [
+            "--workload",
+            "ncf",
+            "--platform",
+            "cloud",
+            "--cache-dir",
+            str(tmp_path),
+            "--json",
+        ]
+        cold_out, cold_log = self._run(argv, capsys)
+        cold = json.loads(cold_out)
+        assert cold["cache"]["misses"] > 0
+        assert cold["cache"]["store"]["writes"] == cold["cache"]["misses"]
+        assert any(name.startswith("rollup:") for name in cold["rollups"])
+        assert "[job] sim:ncf:cloud:" in cold_log
+
+        warm_out, warm_log = self._run(argv, capsys)
+        warm = json.loads(warm_out)
+        assert warm["cache"]["misses"] == 0
+        assert warm["cache"]["hit_rate"] == 1.0
+        assert warm["rollups"] == cold["rollups"]
+        assert "hit_rate=100.0%" in warm_log
+
+    def test_table_output_lists_every_design(self, tmp_path, capsys):
+        out, log = self._run(
+            [
+                "--workload",
+                "ncf",
+                "--platform",
+                "cloud",
+                "--cache-dir",
+                str(tmp_path),
+            ],
+            capsys,
+        )
+        assert "Network rollups" in out
+        for design in ("Binary Parallel", "Binary Serial", "Unary-32c", "uGEMM-H"):
+            assert design in out
+        assert "cache: sims=" in log
+
+    def test_no_cache_forces_recompute(self, tmp_path, capsys):
+        argv = [
+            "--workload",
+            "ncf",
+            "--platform",
+            "cloud",
+            "--cache-dir",
+            str(tmp_path),
+            "--no-cache",
+            "--json",
+        ]
+        out, _ = self._run(argv, capsys)
+        cold = json.loads(out)
+        assert cold["cache"]["hit_rate"] == 0.0
+        out, _ = self._run(argv, capsys)
+        again = json.loads(out)
+        assert again["cache"]["hit_rate"] == 0.0

@@ -1,0 +1,167 @@
+"""Cache-key stability: the contract everything in repro.jobs rests on.
+
+Keys must be pure functions of configuration *content*: equal configs
+(however constructed) hash identically, any single-field change moves the
+key, and keys are byte-identical across processes regardless of
+``PYTHONHASHSEED`` — the classic way `hash()`-based keys silently break.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import ArrayConfig
+from repro.gemm.params import GemmParams
+from repro.hw.gates import TECH_32NM, TechNode
+from repro.jobs.keys import (
+    SCHEMA_VERSION,
+    canonical_json,
+    fingerprint,
+    simulation_key,
+    synthesis_key,
+)
+from repro.memory.hierarchy import MemoryConfig
+from repro.schemes import ComputeScheme
+from repro.workloads.presets import EDGE
+
+PARAMS = GemmParams(name="Conv1", ih=16, iw=16, ic=3, wh=3, ww=3, oc=8)
+ARRAY = ArrayConfig(rows=4, cols=4, scheme=ComputeScheme.USYSTOLIC_RATE, ebt=6)
+MEMORY = MemoryConfig(sram_bytes_per_variable=64 * 1024)
+
+
+def _key(params=PARAMS, array=ARRAY, memory=MEMORY, tech=TECH_32NM) -> str:
+    return simulation_key(params, array, memory, tech)
+
+
+class TestEquality:
+    def test_same_config_same_key(self):
+        assert _key() == _key()
+
+    def test_replace_identity_same_key(self):
+        # dataclasses.replace builds a *new* object with equal content;
+        # the key must not see the difference.
+        same_array = dataclasses.replace(ARRAY)
+        same_params = dataclasses.replace(PARAMS)
+        same_memory = dataclasses.replace(MEMORY)
+        assert _key(same_params, same_array, same_memory) == _key()
+
+    def test_platform_helpers_match_manual_construction(self):
+        via_helper = EDGE.array(ComputeScheme.BINARY_PARALLEL)
+        manual = ArrayConfig(
+            rows=EDGE.rows, cols=EDGE.cols, scheme=ComputeScheme.BINARY_PARALLEL
+        )
+        assert _key(array=via_helper) == _key(array=manual)
+
+
+class TestSensitivity:
+    @pytest.mark.parametrize(
+        "mutated",
+        [
+            dataclasses.replace(ARRAY, rows=5),
+            dataclasses.replace(ARRAY, cols=5),
+            dataclasses.replace(ARRAY, scheme=ComputeScheme.UGEMM_RATE, ebt=None),
+            dataclasses.replace(ARRAY, ebt=7),
+            dataclasses.replace(ARRAY, bits=16, ebt=6),
+        ],
+    )
+    def test_array_field_changes_key(self, mutated):
+        assert _key(array=mutated) != _key()
+
+    @pytest.mark.parametrize(
+        "mutated",
+        [
+            dataclasses.replace(PARAMS, name="Conv2"),
+            dataclasses.replace(PARAMS, ih=17),
+            dataclasses.replace(PARAMS, oc=16),
+            dataclasses.replace(PARAMS, stride=2),
+        ],
+    )
+    def test_params_field_changes_key(self, mutated):
+        assert _key(params=mutated) != _key()
+
+    def test_memory_field_changes_key(self):
+        assert _key(memory=MEMORY.without_sram()) != _key()
+        assert (
+            _key(memory=dataclasses.replace(MEMORY, sram_banks=32)) != _key()
+        )
+
+    def test_tech_node_changes_key(self):
+        other = TechNode(
+            name="7nm",
+            area_per_ge_um2=0.1,
+            leakage_per_ge_w=1e-9,
+            energy_per_toggle_j=1e-16,
+            frequency_hz=1e9,
+        )
+        assert _key(tech=other) != _key()
+
+    def test_kind_and_schema_separate_key_spaces(self):
+        sim = fingerprint("simulate_layer", array=ARRAY)
+        synth = fingerprint("synthesize", array=ARRAY)
+        assert sim != synth
+        assert (
+            synthesis_key(ComputeScheme.BINARY_PARALLEL, 4, 4, 8, TECH_32NM)
+            != _key()
+        )
+
+
+class TestProcessStability:
+    def test_key_is_byte_identical_across_subprocesses(self):
+        # PYTHONHASHSEED salts str/bytes hash() per process; a key built
+        # on hash() would differ between these two children.  The content
+        # key must not.
+        code = (
+            "from repro.core.config import ArrayConfig\n"
+            "from repro.gemm.params import GemmParams\n"
+            "from repro.hw.gates import TECH_32NM\n"
+            "from repro.jobs.keys import simulation_key\n"
+            "from repro.memory.hierarchy import MemoryConfig\n"
+            "from repro.schemes import ComputeScheme\n"
+            "params = GemmParams(name='Conv1', ih=16, iw=16, ic=3, wh=3, ww=3, oc=8)\n"
+            "array = ArrayConfig(rows=4, cols=4, scheme=ComputeScheme.USYSTOLIC_RATE, ebt=6)\n"
+            "memory = MemoryConfig(sram_bytes_per_variable=64 * 1024)\n"
+            "print(simulation_key(params, array, memory, TECH_32NM))\n"
+        )
+        src = Path(__file__).resolve().parents[2] / "src"
+        keys = []
+        for seed in ("0", "424242"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = seed
+            env["PYTHONPATH"] = f"{src}{os.pathsep}" + env.get("PYTHONPATH", "")
+            proc = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            keys.append(proc.stdout.strip())
+        assert keys[0] == keys[1] == _key()
+
+    def test_schema_version_is_part_of_the_key(self):
+        # Guard: the fingerprint document embeds the schema version, so a
+        # bump invalidates every stored result at once.
+        assert isinstance(SCHEMA_VERSION, int)
+        assert f'"schema":{SCHEMA_VERSION}' not in canonical_json(ARRAY)
+        a = fingerprint("simulate_layer", array=ARRAY)
+        assert len(a) == 64 and set(a) <= set("0123456789abcdef")
+
+
+class TestCanonicalForm:
+    def test_rejects_uncanonical_objects(self):
+        with pytest.raises(TypeError):
+            canonical_json(object())
+
+    def test_rejects_non_string_dict_keys(self):
+        with pytest.raises(TypeError):
+            canonical_json({1: "a"})
+
+    def test_nested_structures_round_trip_deterministically(self):
+        doc = {"b": [ARRAY, PARAMS], "a": (1, 2.5, None, True)}
+        assert canonical_json(doc) == canonical_json(doc)

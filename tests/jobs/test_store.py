@@ -1,0 +1,91 @@
+"""The on-disk store: atomicity, addressing, corruption tolerance."""
+
+from __future__ import annotations
+
+import json
+
+from repro.jobs.store import ResultStore
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "1" * 62
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        store = ResultStore(tmp_path)
+        payload = {"runtime_s": 1.25, "layer": "Conv1"}
+        store.put(KEY_A, "simulate_layer", payload)
+        assert store.get(KEY_A, "simulate_layer") == payload
+        assert store.stats.hits == 1
+        assert store.stats.writes == 1
+
+    def test_fanout_layout(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, "simulate_layer", {})
+        assert store.path_for(KEY_A) == tmp_path / "aa" / f"{KEY_A}.json"
+        assert store.path_for(KEY_A).exists()
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(KEY_A, "simulate_layer") is None
+        assert store.stats.misses == 1
+
+    def test_len_and_iter_and_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, "simulate_layer", {})
+        store.put(KEY_B, "simulate_layer", {})
+        assert sorted(store.iter_keys()) == sorted([KEY_A, KEY_B])
+        assert len(store) == 2
+        assert store.clear() == 2
+        assert len(store) == 0
+
+    def test_no_leftover_temp_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, "simulate_layer", {"x": 1})
+        leftovers = [p for p in tmp_path.rglob("*") if p.suffix == ".tmp"]
+        assert leftovers == []
+
+
+class TestCorruptionTolerance:
+    def _store_with_entry(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY_A, "simulate_layer", {"x": 1})
+        return store
+
+    def test_truncated_json_reads_as_miss(self, tmp_path):
+        store = self._store_with_entry(tmp_path)
+        path = store.path_for(KEY_A)
+        path.write_text(path.read_text()[:10])
+        assert store.get(KEY_A, "simulate_layer") is None
+        assert store.stats.corrupt == 1
+
+    def test_wrong_key_in_envelope_reads_as_miss(self, tmp_path):
+        # Simulates a file copied/renamed to the wrong address.
+        store = self._store_with_entry(tmp_path)
+        envelope = json.loads(store.path_for(KEY_A).read_text())
+        envelope["key"] = KEY_B
+        store.path_for(KEY_A).write_text(json.dumps(envelope))
+        assert store.get(KEY_A, "simulate_layer") is None
+
+    def test_wrong_kind_reads_as_miss(self, tmp_path):
+        store = self._store_with_entry(tmp_path)
+        assert store.get(KEY_A, "synthesize") is None
+
+    def test_foreign_schema_reads_as_miss(self, tmp_path):
+        store = self._store_with_entry(tmp_path)
+        envelope = json.loads(store.path_for(KEY_A).read_text())
+        envelope["store_schema"] = 999
+        store.path_for(KEY_A).write_text(json.dumps(envelope))
+        assert store.get(KEY_A, "simulate_layer") is None
+
+    def test_non_dict_file_reads_as_miss(self, tmp_path):
+        store = self._store_with_entry(tmp_path)
+        store.path_for(KEY_A).write_text("[1, 2, 3]")
+        assert store.get(KEY_A, "simulate_layer") is None
+
+    def test_corrupt_entry_recovers_after_rewrite(self, tmp_path):
+        store = self._store_with_entry(tmp_path)
+        store.path_for(KEY_A).write_text("garbage{")
+        assert store.get(KEY_A, "simulate_layer") is None
+        store.put(KEY_A, "simulate_layer", {"x": 2})
+        assert store.get(KEY_A, "simulate_layer") == {"x": 2}

@@ -1,12 +1,54 @@
 """Tests for result records and aggregation."""
 
+import json
+import math
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.schemes import ComputeScheme as CS
 from repro.sim.engine import simulate_network
-from repro.sim.results import aggregate_results
+from repro.sim.results import EnergyLedger, LayerResult, aggregate_results
+from repro.sim.traffic import TrafficProfile, VariableTraffic
 from repro.workloads.alexnet import alexnet_layers
 from repro.workloads.presets import EDGE
+
+# Finite, non-NaN floats: what the simulator actually produces, and the
+# only values JSON can represent.
+finite = st.floats(allow_nan=False, allow_infinity=False, min_value=0.0)
+counts = st.integers(min_value=0, max_value=2**53)
+
+energies = st.builds(
+    EnergyLedger,
+    array_dynamic=finite,
+    array_leakage=finite,
+    sram_dynamic=finite,
+    sram_leakage=finite,
+    dram_dynamic=finite,
+)
+variable_traffic = st.builds(
+    VariableTraffic,
+    sram_read=counts,
+    sram_write=counts,
+    dram_read=counts,
+    dram_write=counts,
+)
+traffic_profiles = st.builds(
+    TrafficProfile, ifm=variable_traffic, weight=variable_traffic, ofm=variable_traffic
+)
+layer_results = st.builds(
+    LayerResult,
+    layer=st.text(min_size=1, max_size=12),
+    config_label=st.text(min_size=1, max_size=12),
+    macs=counts,
+    compute_cycles=counts,
+    total_cycles=finite,
+    runtime_s=finite,
+    utilization=st.floats(min_value=0.0, max_value=1.0),
+    traffic=traffic_profiles,
+    energy=energies,
+)
 
 
 class TestLayerResult:
@@ -40,6 +82,48 @@ class TestLayerResult:
         assert r.power_efficiency() == pytest.approx(
             r.throughput_gops / r.on_chip_power_w
         )
+
+
+class TestJsonRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(ledger=energies)
+    def test_energy_ledger_round_trips(self, ledger):
+        through_json = json.loads(json.dumps(ledger.to_json()))
+        restored = EnergyLedger.from_json(through_json)
+        assert restored == ledger
+        # Derived properties rebuild bit-identically from the fields.
+        assert restored.on_chip == ledger.on_chip
+        assert restored.total == ledger.total
+
+    @settings(max_examples=100, deadline=None)
+    @given(result=layer_results)
+    def test_layer_result_round_trips(self, result):
+        through_json = json.loads(json.dumps(result.to_json()))
+        restored = LayerResult.from_json(through_json)
+        assert restored == result
+        for name in (
+            "contention_overhead",
+            "dram_bandwidth_gbps",
+            "throughput_gops",
+            "on_chip_power_w",
+            "on_chip_edp",
+        ):
+            a, b = getattr(restored, name), getattr(result, name)
+            assert a == b or (math.isnan(a) and math.isnan(b))
+
+    def test_simulated_result_round_trips(self):
+        # Not just synthetic values: a real simulator output survives the
+        # store's serialize/deserialize path exactly.
+        [result] = simulate_network(
+            alexnet_layers()[5:6], EDGE.array(CS.USYSTOLIC_RATE, ebt=5), EDGE.memory
+        )
+        restored = LayerResult.from_json(json.loads(json.dumps(result.to_json())))
+        assert restored == result
+        assert restored.energy_efficiency() == result.energy_efficiency()
+
+    def test_missing_field_raises(self):
+        with pytest.raises(KeyError):
+            EnergyLedger.from_json({"array_dynamic": 1.0})
 
 
 class TestAggregate:
