@@ -1,13 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test bench eval all
+.PHONY: lint test verify fuzz bench eval all
 
 lint:
 	$(PYTHON) -m repro.analysis
 
 test:
 	$(PYTHON) -m pytest -q tests/
+
+verify:
+	$(PYTHON) -m repro.verify diff
+
+fuzz:
+	$(PYTHON) -m repro.verify fuzz --seed 0 --budget 200
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

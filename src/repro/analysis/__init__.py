@@ -1,7 +1,7 @@
 """Repo-native static analysis and runtime contracts.
 
 ``repro.analysis`` keeps the reproduction honest about the physical
-quantities it models.  Four AST checkers run over the tree via
+quantities it models.  Five AST checkers run over the tree via
 ``python -m repro.analysis`` (and the CI lint job / pytest gate):
 
 - **unit** (``UNIT*``) — dimensional analysis over unit-suffixed names
@@ -10,7 +10,10 @@ quantities it models.  Four AST checkers run over the tree via
 - **det** (``DET*``) — hidden-global-state and unseeded RNG detection;
 - **cfg** (``CFG*``) — the frozen-dataclass + ``validate()`` contract on
   every ``*Config``/``*Params`` class;
-- **exp** (``EXP*``) — ``__all__``/docstring export hygiene.
+- **exp** (``EXP*``) — ``__all__``/docstring export hygiene;
+- **ver** (``VER*``) — verification traceability: vectorised kernels
+  must cross-reference the scalar model ``repro.verify`` diffs them
+  against.
 
 :mod:`repro.analysis.contracts` carries the runtime half of the config
 contract.  Suppress individual findings with
@@ -26,6 +29,7 @@ from .findings import Finding
 from .reporting import render_json, render_text
 from .runner import ALL_CHECKERS, default_paths, main, run_analysis
 from .units import UnitChecker, parse_unit
+from .verification import VerificationChecker
 from .visitor import Checker, SourceFile, collect_sources
 
 __all__ = [
@@ -37,6 +41,7 @@ __all__ = [
     "Finding",
     "SourceFile",
     "UnitChecker",
+    "VerificationChecker",
     "collect_sources",
     "default_paths",
     "main",

@@ -18,6 +18,7 @@ GROUPS = {
     "DET": "det",
     "CFG": "cfg",
     "EXP": "exp",
+    "VER": "ver",
 }
 
 

@@ -20,6 +20,7 @@ from .exports import ExportChecker
 from .findings import Finding
 from .reporting import render_json, render_text
 from .units import UnitChecker
+from .verification import VerificationChecker
 from .visitor import Checker, collect_sources
 
 __all__ = ["ALL_CHECKERS", "run_analysis", "default_paths", "main"]
@@ -30,6 +31,7 @@ ALL_CHECKERS: tuple[Checker, ...] = (
     DeterminismChecker(),
     ConfigChecker(),
     ExportChecker(),
+    VerificationChecker(),
 )
 
 _DEFAULT_ROOTS = ("src", "examples", "benchmarks")
@@ -54,7 +56,8 @@ def run_analysis(
     """Run the checkers over ``paths``.
 
     ``select`` optionally restricts to checker groups (``unit``/``det``/
-    ``cfg``/``exp``) or exact codes (``UNIT002``).  Returns the surviving
+    ``cfg``/``exp``/``ver``) or exact codes (``UNIT002``).  Returns the
+    surviving
     (non-suppressed) findings and the number of files scanned.
     """
     selected = {s.strip() for s in select} if select else None
@@ -66,8 +69,8 @@ def run_analysis(
         if unknown:
             raise ValueError(
                 f"unknown --select token(s): {', '.join(unknown)}; "
-                "expected a checker group (unit/det/cfg/exp) or a code "
-                "like UNIT002"
+                "expected a checker group (unit/det/cfg/exp/ver) or a "
+                "code like UNIT002"
             )
     sources = collect_sources(paths)
     findings: list[Finding] = []
@@ -93,7 +96,8 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis",
         description=(
             "Static analysis for the uSystolic reproduction: unit "
-            "consistency, determinism, config invariants, export hygiene."
+            "consistency, determinism, config invariants, export hygiene, "
+            "verification traceability."
         ),
     )
     parser.add_argument(
@@ -110,7 +114,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="GROUP_OR_CODE",
         help="restrict to checker groups or codes (repeatable, "
-        "comma-separated): unit,det,cfg,exp or e.g. UNIT002",
+        "comma-separated): unit,det,cfg,exp,ver or e.g. UNIT002",
     )
     parser.add_argument(
         "--list-checkers",

@@ -1,0 +1,68 @@
+"""Verification-traceability checker (``VER*``).
+
+The differential-oracle subsystem (``repro.verify``) cross-checks every
+vectorised kernel against a scalar reference.  That contract only holds
+while the two stay *linked*: a vectorised implementation must say, in
+prose the docs build can resolve, which scalar model it is bit-identical
+to.  This checker enforces the link:
+
+- ``VER001`` — a public function in a vectorised module (filename
+  contains ``vector``) has no Sphinx cross-reference (``:func:``,
+  ``:class:`` or ``:meth:``) to its reference implementation, in either
+  its own docstring or the module docstring.
+
+A module-level cross-reference covers every function in the file (the
+common case: one module docstring naming the scalar twin once).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterator
+
+from .findings import Finding
+from .visitor import Checker, SourceFile
+
+__all__ = ["VerificationChecker"]
+
+#: Sphinx roles that count as naming a reference implementation.
+_XREF_RE = re.compile(r":(?:func|class|meth):`")
+
+
+def _names_reference(docstring: str | None) -> bool:
+    return bool(docstring and _XREF_RE.search(docstring))
+
+
+class VerificationChecker(Checker):
+    """Require vectorised kernels to name their scalar reference."""
+
+    name = "ver"
+    codes = {
+        "VER001": (
+            "public function in a vectorised module lacks a :func:/:class:"
+            "/:meth: cross-reference to its scalar reference"
+        ),
+    }
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if "vector" not in Path(source.path).stem:
+            return
+        if _names_reference(ast.get_docstring(source.tree)):
+            return
+        for stmt in source.tree.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name.startswith("_"):
+                continue
+            if _names_reference(ast.get_docstring(stmt)):
+                continue
+            yield self.finding(
+                source,
+                stmt,
+                "VER001",
+                f"vectorised function {stmt.name!r} names no scalar "
+                "reference (:func:/:class:/:meth: cross-reference) in its "
+                "docstring or the module docstring",
+            )

@@ -12,7 +12,7 @@ Suppression syntax (trailing comment on the offending line)::
     z = mixed_everything()          # repro-lint: ignore
 
 A bare ``ignore`` silences every checker on that line; bracketed tokens
-may be group names (``unit``/``det``/``cfg``/``exp``) or exact codes
+may be group names (``unit``/``det``/``cfg``/``exp``/``ver``) or exact codes
 (``UNIT002``).  A ``# repro-lint: skip-file`` comment anywhere in the
 first ten lines exempts the whole file.
 """

@@ -17,7 +17,13 @@ from .keys import (
     simulation_key,
     synthesis_key,
 )
-from .pool import SimulationJob, SimulationOutcome, execute_simulation, run_simulations
+from .pool import (
+    SimulationJob,
+    SimulationOutcome,
+    execute_simulation,
+    run_simulations,
+    run_tasks,
+)
 from .runner import (
     JobGraph,
     JobRunner,
@@ -43,6 +49,7 @@ __all__ = [
     "SimulationOutcome",
     "execute_simulation",
     "run_simulations",
+    "run_tasks",
     "JobGraph",
     "JobRunner",
     "JobTiming",

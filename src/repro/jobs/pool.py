@@ -27,7 +27,13 @@ from ..sim.engine import simulate_layer
 from ..sim.results import LayerResult
 from .keys import simulation_key
 
-__all__ = ["SimulationJob", "SimulationOutcome", "execute_simulation", "run_simulations"]
+__all__ = [
+    "SimulationJob",
+    "SimulationOutcome",
+    "execute_simulation",
+    "run_simulations",
+    "run_tasks",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -58,6 +64,24 @@ def execute_simulation(job: SimulationJob) -> SimulationOutcome:
     start = time.perf_counter()
     result = simulate_layer(job.params, job.array, job.memory, tech=job.tech)
     return SimulationOutcome(result=result, seconds=time.perf_counter() - start)
+
+
+def run_tasks(fn, items: list, workers: int = 1) -> list:
+    """Order-preserving parallel map with the pool's serial bypass.
+
+    The generic sibling of :func:`run_simulations` for other
+    embarrassingly parallel job types (e.g. ``repro.verify`` fuzz
+    cases): ``fn`` must be a picklable module-level function and each
+    item a picklable value.  ``workers <= 1`` (or a single item) runs
+    serially in-process — no subprocess, no pickling — which also keeps
+    monkeypatched callees visible to tests.
+    """
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    max_workers = min(workers, len(items))
+    chunksize = max(1, len(items) // (max_workers * 4))
+    with ProcessPoolExecutor(max_workers=max_workers) as executor:
+        return list(executor.map(fn, items, chunksize=chunksize))
 
 
 def run_simulations(

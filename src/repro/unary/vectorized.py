@@ -13,6 +13,9 @@ HubMac` per element with default sequences (a property test asserts this).
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+
 import numpy as np
 
 from .bitstream import Coding
@@ -20,17 +23,34 @@ from .rng import CounterSequence, SobolSequence
 
 __all__ = ["hub_mac_row"]
 
-_SEQ_CACHE: dict[tuple[str, int], np.ndarray] = {}
+#: Cached (kind, bits) sequences kept per thread; LRU-evicted beyond this.
+_SEQ_CACHE_MAX = 16
+
+_SEQ_CACHE_LOCAL = threading.local()
+
+
+def _seq_cache() -> "OrderedDict[tuple[str, int], np.ndarray]":
+    # Thread-local so concurrent hub_mac_row calls never share (or race
+    # on) a dict; bounded so a bits/coding sweep can't grow it unchecked.
+    cache = getattr(_SEQ_CACHE_LOCAL, "cache", None)
+    if cache is None:
+        cache = _SEQ_CACHE_LOCAL.cache = OrderedDict()
+    return cache
 
 
 def _sequence(kind: str, bits: int) -> np.ndarray:
+    cache = _seq_cache()
     key = (kind, bits)
-    if key not in _SEQ_CACHE:
+    if key in cache:
+        cache.move_to_end(key)
+    else:
         if kind == "sobol":
-            _SEQ_CACHE[key] = SobolSequence(bits).values(1 << bits)
+            cache[key] = SobolSequence(bits).values(1 << bits)
         else:
-            _SEQ_CACHE[key] = CounterSequence(bits).values(1 << bits)
-    return _SEQ_CACHE[key]
+            cache[key] = CounterSequence(bits).values(1 << bits)
+        while len(cache) > _SEQ_CACHE_MAX:
+            cache.popitem(last=False)
+    return cache[key]
 
 
 def hub_mac_row(

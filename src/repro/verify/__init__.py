@@ -1,0 +1,54 @@
+"""Differential-oracle verification of the uSystolic simulator stack.
+
+The repo's central correctness claim — the vectorised row kernel, the
+scalar HUB MAC, the functional array and the analytic performance model
+all describe *one* machine — is made executable here, the way tubGEMM
+and tuGEMM validate their unary GEMM units against exact binary oracles:
+
+- :mod:`repro.verify.oracles` — pure-numpy golden models (exact GEMM /
+  im2col / convolution outputs, the closed-form ``2**(n-1) + 1`` crawl
+  latency, analytical DRAM/SRAM traffic totals from Table II parameters)
+  that share *no code* with the implementations they judge;
+- :mod:`repro.verify.diff` — the differential engine: one
+  :class:`~repro.verify.diff.VerifyCase` runs through both the scalar
+  and vectorised unary kernels and through ``sim.engine.simulate_layer``
+  versus the analytical model, reporting structured
+  :class:`~repro.verify.diff.Mismatch` records (check, expected, got,
+  delta) instead of a bare assert;
+- :mod:`repro.verify.fuzz` — a seeded random generator over the
+  ``ArrayConfig`` / ``GemmParams`` / coding / bit-width space, fanned
+  out through :mod:`repro.jobs`, with greedy shrinking of failing cases
+  to minimal JSON counterexamples under ``verify-failures/``;
+- ``python -m repro.verify {diff,fuzz,replay}`` — the CLI, and
+  ``tests/verify/`` replays every checked-in counterexample forever.
+"""
+
+from __future__ import annotations
+
+from .diff import DiffReport, Mismatch, VerifyCase, run_case
+from .fuzz import FuzzResult, generate_case, run_fuzz, shrink_case
+from .oracles import (
+    compute_cycles_oracle,
+    conv_oracle,
+    gemm_oracle,
+    im2col_oracle,
+    mac_latency_oracle,
+    traffic_oracle,
+)
+
+__all__ = [
+    "DiffReport",
+    "FuzzResult",
+    "Mismatch",
+    "VerifyCase",
+    "compute_cycles_oracle",
+    "conv_oracle",
+    "gemm_oracle",
+    "generate_case",
+    "im2col_oracle",
+    "mac_latency_oracle",
+    "run_case",
+    "run_fuzz",
+    "shrink_case",
+    "traffic_oracle",
+]

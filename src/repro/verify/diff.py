@@ -1,0 +1,436 @@
+"""The differential engine: one case, every redundant description of it.
+
+A :class:`VerifyCase` is a point in the ``ArrayConfig`` x ``GemmParams``
+x coding x bit-width space, flattened into one frozen dataclass whose
+*defaults are the minimal case* — counterexample JSON stores only the
+fields that differ from those defaults, which is what the fuzzer's
+greedy shrinker minimises.
+
+Three case kinds, three diff surfaces:
+
+- ``kernel`` — the scalar :class:`~repro.unary.mac.HubMac` versus the
+  vectorised :func:`~repro.unary.vectorized.hub_mac_row` (scalar
+  reference), element by element at integer product scale, plus the
+  closed-form ``2**(n-1) + 1`` crawl-latency oracle;
+- ``engine`` — :func:`repro.sim.engine.simulate_layer`, the fold
+  schedule, the traffic profiler and the event trace versus the
+  analytical oracles of :mod:`repro.verify.oracles`;
+- ``functional`` — the whole :class:`~repro.core.array.UsystolicArray`
+  versus an independent scalar-MAC reference (and, for binary schemes,
+  the exact convolution oracle).
+
+Every disagreement becomes a structured :class:`Mismatch` (check,
+expected, got, delta) so failures are machine-shrinkable and diffable
+rather than a bare assert message.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+import numpy as np
+
+from ..core.array import UsystolicArray
+from ..core.config import ArrayConfig
+from ..gemm.im2col import im2col as _im2col_impl
+from ..gemm.params import GemmParams
+from ..gemm.tiling import tile_gemm
+from ..memory.hierarchy import MemoryConfig
+from ..schemes import ComputeScheme
+from ..sim import tracegen
+from ..sim.dataflow import schedule_layer
+from ..sim.engine import simulate_layer
+from ..sim.traffic import profile_traffic
+from ..unary import vectorized
+from ..unary.bitstream import Coding
+from ..unary.mac import HubMac
+from .oracles import (
+    compute_cycles_oracle,
+    conv_oracle,
+    im2col_oracle,
+    mac_latency_oracle,
+    traffic_oracle,
+)
+
+__all__ = ["VerifyCase", "Mismatch", "DiffReport", "run_case", "default_cases"]
+
+KINDS = ("kernel", "engine", "functional")
+
+_SCHEMES = {s.value: s for s in ComputeScheme}
+
+#: Schemes the functional array diff supports (BS shares BP's exact path).
+_FUNCTIONAL_SCHEMES = ("BP", "UR", "UT")
+
+#: Cap on reported per-element functional mismatches (the report stays
+#: readable; the mismatch *count* is still exact via ``checks``).
+_MAX_ELEMENT_MISMATCHES = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class VerifyCase:
+    """One differential test point; defaults form the minimal case."""
+
+    kind: str = "kernel"
+    # kernel surface -------------------------------------------------
+    bits: int = 4
+    ebt: int | None = None
+    coding: str = "rate"
+    ifm: int = 0
+    weights: tuple[int, ...] = (0,)
+    # engine / functional surface ------------------------------------
+    ih: int = 3
+    iw: int = 3
+    ic: int = 1
+    wh: int = 1
+    ww: int = 1
+    oc: int = 1
+    stride: int = 1
+    rows: int = 2
+    cols: int = 2
+    scheme: str = "UR"
+    sram_kib: int | None = None
+    seed: int = 0
+
+    # ------------------------------------------------------------------
+    def validated(self) -> "VerifyCase":
+        """Raise ``ValueError`` on any field outside the legal space."""
+        if self.kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
+        if self.bits < 2:
+            raise ValueError(f"bits must be >= 2, got {self.bits}")
+        if self.ebt is not None and not 2 <= self.ebt <= self.bits:
+            raise ValueError(f"ebt must be in [2, {self.bits}], got {self.ebt}")
+        if self.coding not in ("rate", "temporal"):
+            raise ValueError(f"coding must be rate|temporal, got {self.coding!r}")
+        if self.coding == "temporal" and self.ebt is not None:
+            raise ValueError("temporal coding admits no early termination")
+        limit = 1 << (self.bits - 1)
+        if abs(self.ifm) >= limit:
+            raise ValueError(f"ifm {self.ifm} outside {self.bits}-bit range")
+        if not self.weights or len(self.weights) > 64:
+            raise ValueError("weights must hold 1..64 values")
+        if any(abs(w) >= limit for w in self.weights):
+            raise ValueError(f"weights outside {self.bits}-bit range")
+        if self.scheme not in _SCHEMES:
+            raise ValueError(f"unknown scheme {self.scheme!r}")
+        if self.kind == "functional" and self.scheme not in _FUNCTIONAL_SCHEMES:
+            raise ValueError(
+                f"functional cases support {_FUNCTIONAL_SCHEMES}, got {self.scheme}"
+            )
+        if self.ebt is not None and not _SCHEMES[self.scheme].supports_early_termination:
+            if self.kind != "kernel":
+                raise ValueError(f"{self.scheme} does not support early termination")
+        if self.sram_kib is not None and self.sram_kib < 1:
+            raise ValueError("sram_kib must be positive or null")
+        if self.kind != "kernel":
+            # GemmParams/ArrayConfig contracts fire eagerly and loudly.
+            self.gemm_params()
+            self.array_config()
+        return self
+
+    # ------------------------------------------------------------------
+    # derived configuration objects
+    # ------------------------------------------------------------------
+    def gemm_params(self) -> GemmParams:
+        """The Table II description of this case's GEMM."""
+        return GemmParams(
+            name=f"verify-{self.kind}",
+            ih=self.ih,
+            iw=self.iw,
+            ic=self.ic,
+            wh=self.wh,
+            ww=self.ww,
+            oc=self.oc,
+            stride=self.stride,
+        )
+
+    def array_config(self) -> ArrayConfig:
+        """The systolic-array configuration of this case."""
+        return ArrayConfig(
+            rows=self.rows,
+            cols=self.cols,
+            scheme=_SCHEMES[self.scheme],
+            bits=self.bits,
+            ebt=self.ebt,
+        )
+
+    def memory_config(self) -> MemoryConfig:
+        """The memory hierarchy (``sram_kib`` of ``None`` = SRAM-less)."""
+        size = None if self.sram_kib is None else self.sram_kib * 1024
+        return MemoryConfig(sram_bytes_per_variable=size)
+
+    # ------------------------------------------------------------------
+    # JSON round-trip: counterexamples carry only non-default fields
+    # ------------------------------------------------------------------
+    def nondefault_fields(self) -> dict[str, Any]:
+        """Fields differing from the minimal case (the shrink target)."""
+        out: dict[str, Any] = {}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if value != field.default:
+                out[field.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    def to_json(self) -> dict[str, Any]:
+        """Minimal JSON form (round-trips via :meth:`from_json`)."""
+        return self.nondefault_fields()
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "VerifyCase":
+        """Rebuild a case, filling every omitted field from the defaults."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown VerifyCase field(s): {', '.join(unknown)}")
+        values = dict(data)
+        if "weights" in values:
+            values["weights"] = tuple(int(w) for w in values["weights"])
+        return cls(**values).validated()
+
+
+@dataclasses.dataclass(frozen=True)
+class Mismatch:
+    """One structured disagreement between implementation and oracle."""
+
+    check: str
+    expected: float
+    got: float
+
+    @property
+    def delta(self) -> float:
+        """Signed error, in the check's own unit (products, cycles, bytes)."""
+        return self.got - self.expected
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-able record for counterexample files and ``--json`` output."""
+        return {
+            "check": self.check,
+            "expected": self.expected,
+            "got": self.got,
+            "delta": self.delta,
+        }
+
+    def render(self) -> str:
+        """One-line human rendering for the CLI report."""
+        return (
+            f"{self.check}: expected {self.expected!r}, got {self.got!r} "
+            f"(delta {self.delta:+g})"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class DiffReport:
+    """Outcome of one case: how many checks ran, which disagreed."""
+
+    case: VerifyCase
+    checks: int
+    mismatches: tuple[Mismatch, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-able record (the fuzz counterexample payload)."""
+        return {
+            "case": self.case.to_json(),
+            "checks": self.checks,
+            "mismatches": [m.to_json() for m in self.mismatches],
+        }
+
+
+class _Collector:
+    """Accumulates checks/mismatches while a case runs."""
+
+    def __init__(self) -> None:
+        self.checks = 0
+        self.mismatches: list[Mismatch] = []
+
+    def compare(self, check: str, expected: float, got: float) -> None:
+        self.checks += 1
+        if expected != got:
+            self.mismatches.append(
+                Mismatch(check=check, expected=float(expected), got=float(got))
+            )
+
+
+# ----------------------------------------------------------------------
+# the three diff surfaces
+# ----------------------------------------------------------------------
+def _diff_kernel(case: VerifyCase, out: _Collector) -> None:
+    """Scalar HubMac vs vectorised hub_mac_row, plus the latency oracle."""
+    coding = Coding.RATE if case.coding == "rate" else Coding.TEMPORAL
+    mac = HubMac(case.bits, ebt=case.ebt, coding=coding)
+    scheme = (
+        ComputeScheme.USYSTOLIC_RATE
+        if coding is Coding.RATE
+        else ComputeScheme.USYSTOLIC_TEMPORAL
+    )
+    out.compare(
+        "kernel.mac_cycles",
+        mac_latency_oracle(scheme, case.bits, case.ebt),
+        mac.cycles,
+    )
+    weights = np.asarray(case.weights, dtype=np.int64)
+    # The vectorised kernel is resolved through the module at call time so
+    # mutation tests (and future fast paths) are what actually gets diffed.
+    row = vectorized.hub_mac_row(
+        case.ifm, weights, case.bits, ebt=case.ebt, coding=coding
+    )
+    scale = 1 << (case.bits - 1)
+    for column, weight in enumerate(case.weights):
+        scalar = mac.multiply(int(weight), case.ifm).product * scale
+        out.compare(f"kernel.product[{column}]", scalar, float(row[column]))
+
+
+def _diff_engine(case: VerifyCase, out: _Collector) -> None:
+    """Schedule, traffic, trace and engine vs the analytical oracles."""
+    params = case.gemm_params()
+    array = case.array_config()
+    memory = case.memory_config()
+
+    latency = mac_latency_oracle(array.scheme, case.bits, case.ebt)
+    out.compare("engine.mac_cycles", latency, array.mac_cycles)
+
+    tiling = tile_gemm(params, array.rows, array.cols)
+    cycles = compute_cycles_oracle(params, array.rows, array.cols, latency)
+    out.compare(
+        "engine.schedule_cycles",
+        cycles,
+        schedule_layer(tiling, array.mac_cycles).compute_cycles,
+    )
+    result = simulate_layer(params, array, memory)
+    out.compare("engine.compute_cycles", cycles, result.compute_cycles)
+
+    oracle = traffic_oracle(params, array.rows, array.cols, case.bits, memory)
+    traffic = profile_traffic(params, tiling, case.bits, memory)
+    for key, expected in sorted(oracle.items()):
+        variable, field = key.split(".", 1)
+        out.compare(
+            f"traffic.{key}", expected, getattr(traffic.variable(variable), field)
+        )
+
+    # The event trace must land on the no-SRAM demand totals byte for byte.
+    demand = traffic_oracle(
+        params, array.rows, array.cols, case.bits, case.memory_config().without_sram()
+    )
+    totals = tracegen.trace_totals(tracegen.generate_trace(params, array))
+    for variable, op in (("ifm", "read"), ("weight", "read"), ("ofm", "read"), ("ofm", "write")):
+        out.compare(
+            f"trace.{variable}_{op}",
+            demand[f"{variable}.dram_{op}"],
+            totals.get((variable, op), 0),
+        )
+
+
+def _diff_functional(case: VerifyCase, out: _Collector) -> None:
+    """Whole-array execution vs the scalar-MAC / exact-conv references."""
+    params = case.gemm_params()
+    array = case.array_config()
+    rng = np.random.default_rng(case.seed)
+    limit = 1 << (case.bits - 1)
+    weight = rng.integers(-limit + 1, limit, size=(params.oc, params.wh, params.ww, params.ic))
+    ifm = rng.integers(-limit + 1, limit, size=(params.ih, params.iw, params.ic))
+
+    got = UsystolicArray(array).execute(params, weight, ifm)
+
+    cols_mat = im2col_oracle(params, ifm)
+    out.compare(
+        "functional.im2col",
+        0.0,
+        float(np.abs(cols_mat - _im2col_impl(params, ifm)).max(initial=0)),
+    )
+    if array.scheme is ComputeScheme.BINARY_PARALLEL:
+        expected = conv_oracle(params, weight, ifm)
+    else:
+        # Independent scalar path: per-element HubMac products folded with
+        # exact binary accumulation (the HUB fold-invariance guarantee).
+        mac = HubMac(case.bits, ebt=case.ebt, coding=(
+            Coding.RATE
+            if array.scheme is ComputeScheme.USYSTOLIC_RATE
+            else Coding.TEMPORAL
+        ))
+        scale = 1 << (case.bits - 1)
+        wmat = weight.reshape(params.oc, params.window).T
+        expected = np.zeros((cols_mat.shape[0], params.oc), dtype=np.float64)
+        for v in range(cols_mat.shape[0]):
+            for k in range(params.window):
+                x = int(cols_mat[v, k])
+                for c in range(params.oc):
+                    expected[v, c] += mac.multiply(int(wmat[k, c]), x).product * scale
+        expected = expected.reshape(params.oh, params.ow, params.oc)
+    reported = 0
+    for index in np.ndindex(expected.shape):
+        out.checks += 1
+        if expected[index] != got[index]:
+            if reported < _MAX_ELEMENT_MISMATCHES:
+                out.mismatches.append(
+                    Mismatch(
+                        check=f"functional.ofm{list(index)}",
+                        expected=float(expected[index]),
+                        got=float(got[index]),
+                    )
+                )
+            reported += 1
+
+
+def run_case(case: VerifyCase) -> DiffReport:
+    """Run every diff surface of one (validated) case."""
+    case = case.validated()
+    out = _Collector()
+    if case.kind == "kernel":
+        _diff_kernel(case, out)
+    elif case.kind == "engine":
+        _diff_engine(case, out)
+    else:
+        _diff_functional(case, out)
+    return DiffReport(case=case, checks=out.checks, mismatches=tuple(out.mismatches))
+
+
+def default_cases() -> list[VerifyCase]:
+    """The curated deterministic grid ``python -m repro.verify diff`` runs.
+
+    One representative per scheme/coding/memory corner; the fuzzer covers
+    the space between them.
+    """
+    cases = [
+        VerifyCase(kind="kernel", bits=8, ebt=6, ifm=-97, weights=(127, -128 + 1, 63, -1, 0)),
+        VerifyCase(kind="kernel", bits=8, ifm=55, weights=(-77, 80, 127)),
+        VerifyCase(kind="kernel", bits=6, coding="temporal", ifm=-21, weights=(31, -30, 7)),
+        VerifyCase(kind="kernel", bits=2, ifm=1, weights=(-1, 1)),
+    ]
+    for scheme, ebt in (("BP", None), ("BS", None), ("UR", 6), ("UT", None), ("UG", None)):
+        for sram_kib in (None, 64):
+            cases.append(
+                VerifyCase(
+                    kind="engine",
+                    bits=8,
+                    ebt=ebt,
+                    scheme=scheme,
+                    ih=8,
+                    iw=8,
+                    ic=4,
+                    wh=3,
+                    ww=3,
+                    oc=10,
+                    rows=4,
+                    cols=3,
+                    sram_kib=sram_kib,
+                )
+            )
+    cases.append(
+        VerifyCase(kind="engine", scheme="UR", bits=8, ebt=4, ih=7, iw=9, ic=2,
+                   wh=2, ww=3, oc=5, stride=2, rows=3, cols=2, sram_kib=1)
+    )
+    cases.extend(
+        [
+            VerifyCase(kind="functional", scheme="BP", bits=8, ih=5, iw=5, ic=2,
+                       wh=2, ww=2, oc=3, rows=4, cols=3, seed=7),
+            VerifyCase(kind="functional", scheme="UR", bits=5, ebt=4, ih=4, iw=4,
+                       ic=1, wh=2, ww=2, oc=2, rows=2, cols=2, seed=11),
+            VerifyCase(kind="functional", scheme="UT", bits=4, ih=3, iw=3, ic=1,
+                       wh=2, ww=2, oc=2, rows=3, cols=2, seed=3),
+        ]
+    )
+    return [case.validated() for case in cases]

@@ -1,0 +1,204 @@
+"""Golden models the differential engine judges the simulator against.
+
+Every oracle here is a deliberately *independent* derivation: the exact
+functional outputs come from direct numpy arithmetic (no ``im2col``, no
+tiling, no unary kernels), and the performance totals come from the
+closed-form Table II algebra rather than from iterating the fold
+schedule.  An implementation bug therefore cannot hide by being shared
+between the system under test and its reference — the tubGEMM/tuGEMM
+exact-binary-oracle discipline applied to this reproduction.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..gemm.params import GemmParams
+from ..memory.hierarchy import MemoryConfig
+from ..schemes import ComputeScheme
+
+__all__ = [
+    "gemm_oracle",
+    "im2col_oracle",
+    "conv_oracle",
+    "mac_latency_oracle",
+    "compute_cycles_oracle",
+    "traffic_oracle",
+]
+
+
+# ----------------------------------------------------------------------
+# functional oracles (exact binary arithmetic)
+# ----------------------------------------------------------------------
+def gemm_oracle(lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Exact integer matrix product, computed in object-free int64.
+
+    The binary reference every unary approximation is measured against;
+    inputs must be integer matrices small enough that products fit in 64
+    bits (always true for the sign-magnitude operand ranges).
+    """
+    lhs = np.asarray(lhs, dtype=np.int64)
+    rhs = np.asarray(rhs, dtype=np.int64)
+    if lhs.ndim != 2 or rhs.ndim != 2 or lhs.shape[1] != rhs.shape[0]:
+        raise ValueError(f"incompatible GEMM shapes {lhs.shape} @ {rhs.shape}")
+    return (lhs @ rhs).astype(np.float64)
+
+
+def im2col_oracle(params: GemmParams, ifm: np.ndarray) -> np.ndarray:
+    """The (OH*OW, WH*WW*IC) lowering, rebuilt by pure index arithmetic.
+
+    Uses a single fancy-indexing gather (no python window loop), so it
+    shares no control flow with :func:`repro.gemm.im2col.im2col` while
+    pinning the same (wh, ww, ic) column ordering of Algorithm 1.
+    """
+    ifm = np.asarray(ifm)
+    if ifm.shape != (params.ih, params.iw, params.ic):
+        raise ValueError(
+            f"IFM shape {ifm.shape} != ({params.ih}, {params.iw}, {params.ic})"
+        )
+    s = params.stride
+    oh_idx = s * np.arange(params.oh)
+    ow_idx = s * np.arange(params.ow)
+    # rows[r] flattens window (oh, ow); columns iterate (wh, ww, ic).
+    h = oh_idx[:, None, None, None, None] + np.arange(params.wh)[None, None, :, None, None]
+    w = ow_idx[None, :, None, None, None] + np.arange(params.ww)[None, None, None, :, None]
+    c = np.arange(params.ic)[None, None, None, None, :]
+    gathered = ifm[h, w, c]  # (OH, OW, WH, WW, IC)
+    return gathered.reshape(params.oh * params.ow, params.window)
+
+
+def conv_oracle(
+    params: GemmParams, weight: np.ndarray, ifm: np.ndarray
+) -> np.ndarray:
+    """Exact direct convolution: the (OH, OW, OC) golden OFM.
+
+    ``weight`` has shape (OC, WH, WW, IC); the result is the exact
+    integer-product OFM the binary array must reproduce bit for bit and
+    the unary schemes approximate.  Computed by per-position tensor
+    contraction — no lowering, no tiling.
+    """
+    weight = np.asarray(weight, dtype=np.int64)
+    ifm = np.asarray(ifm, dtype=np.int64)
+    if weight.shape != (params.oc, params.wh, params.ww, params.ic):
+        raise ValueError(f"weight shape {weight.shape} mismatches {params.name!r}")
+    if ifm.shape != (params.ih, params.iw, params.ic):
+        raise ValueError(f"IFM shape {ifm.shape} mismatches {params.name!r}")
+    s = params.stride
+    out = np.empty((params.oh, params.ow, params.oc), dtype=np.int64)
+    for oh in range(params.oh):
+        for ow in range(params.ow):
+            window = ifm[oh * s : oh * s + params.wh, ow * s : ow * s + params.ww, :]
+            out[oh, ow, :] = np.tensordot(weight, window, axes=([1, 2, 3], [0, 1, 2]))
+    return out.astype(np.float64)
+
+
+# ----------------------------------------------------------------------
+# timing oracles (closed form, Section III)
+# ----------------------------------------------------------------------
+def mac_latency_oracle(scheme: ComputeScheme, bits: int, ebt: int | None = None) -> int:
+    """Closed-form PE MAC latency per scheme, written out independently.
+
+    The crawl latency of Section III-A/C: a rate-coded uSystolic MAC
+    takes ``2**(n-1) + 1`` cycles at effective bitwidth n (the +1 is the
+    binary fold of the partial sum), uGEMM's bipolar streams double the
+    length, temporal coding always runs the full ``2**(N-1)`` stream.
+    """
+    if bits < 2:
+        raise ValueError(f"bits must be >= 2, got {bits}")
+    n = bits if ebt is None else ebt
+    if not 2 <= n <= bits:
+        raise ValueError(f"ebt must be in [2, {bits}], got {n}")
+    return {
+        ComputeScheme.BINARY_PARALLEL: 1,
+        ComputeScheme.BINARY_SERIAL: bits + 1,
+        ComputeScheme.USYSTOLIC_RATE: 2 ** (n - 1) + 1,
+        ComputeScheme.USYSTOLIC_TEMPORAL: 2 ** (bits - 1) + 1,
+        ComputeScheme.UGEMM_RATE: 2**n + 1,
+    }[scheme]
+
+
+def compute_cycles_oracle(
+    params: GemmParams, rows: int, cols: int, mac_cycles: int
+) -> int:
+    """Analytical contention-free layer cycles (no fold iteration).
+
+    With K = WH*WW*IC, V = OH*OW, ``kf = ceil(K/rows)`` reduction folds
+    and ``cf = ceil(OC/cols)`` column folds, the per-fold preloads sum in
+    closed form because edge-tile rows sum to exactly K across reduction
+    folds (and edge-tile columns to OC across column folds)::
+
+        sum preloads = cf*K + kf*OC - kf*cf
+        sum streams  = kf*cf * V * mac_cycles
+        last drain   = (K - (kf-1)*rows) + (OC - (cf-1)*cols) - 2
+
+    which must equal :func:`repro.sim.dataflow.schedule_layer` exactly.
+    """
+    if rows < 1 or cols < 1 or mac_cycles < 1:
+        raise ValueError("rows, cols and mac_cycles must be positive")
+    k = params.window
+    oc = params.oc
+    v = params.oh * params.ow
+    kf = math.ceil(k / rows)
+    cf = math.ceil(oc / cols)
+    preloads = cf * k + kf * oc - kf * cf
+    streams = kf * cf * v * mac_cycles
+    last_drain = (k - (kf - 1) * rows) + (oc - (cf - 1) * cols) - 2
+    return preloads + streams + last_drain
+
+
+# ----------------------------------------------------------------------
+# traffic oracle (Table II byte algebra)
+# ----------------------------------------------------------------------
+def traffic_oracle(
+    params: GemmParams, rows: int, cols: int, bits: int, memory: MemoryConfig
+) -> dict[str, int]:
+    """Analytical per-variable byte totals at each memory level.
+
+    Returns a flat ``{"<variable>.<level>_<op>": bytes}`` dict derived
+    from Table II parameters only: the im2col stream is re-read once per
+    column fold, weights stream exactly once, the OFM is written once
+    per reduction fold with ``kf - 1`` partial-sum re-reads, and an IFM
+    SRAM caps DRAM reads at the smaller of the footprint-per-fold and
+    the raw demand stream.
+    """
+    elem = (bits + 7) // 8
+    k = params.window
+    v = params.oh * params.ow
+    kf = math.ceil(k / rows)
+    cf = math.ceil(params.oc / cols)
+    outputs = v * params.oc
+
+    ifm_stream = v * k * cf * elem
+    weight_stream = k * params.oc * elem
+    ofm_write = outputs * kf * elem
+    psum_read = outputs * (kf - 1) * elem
+    ifm_footprint = params.ih * params.iw * params.ic * elem
+
+    totals = {
+        f"{variable}.{level}_{op}": 0
+        for variable in ("ifm", "weight", "ofm")
+        for level in ("sram", "dram")
+        for op in ("read", "write")
+    }
+    if memory.has_sram:
+        if ifm_footprint <= memory.usable_sram_bytes():
+            ifm_dram = min(ifm_footprint, ifm_stream)
+        else:
+            ifm_dram = min(ifm_footprint * cf, ifm_stream)
+        totals["ifm.sram_read"] = ifm_stream
+        totals["ifm.sram_write"] = ifm_dram
+        totals["ifm.dram_read"] = ifm_dram
+        totals["weight.sram_read"] = weight_stream
+        totals["weight.sram_write"] = weight_stream
+        totals["weight.dram_read"] = weight_stream
+        totals["ofm.sram_read"] = psum_read
+        totals["ofm.sram_write"] = ofm_write
+        totals["ofm.dram_write"] = outputs * elem
+    else:
+        totals["ifm.dram_read"] = ifm_stream
+        totals["weight.dram_read"] = weight_stream
+        totals["ofm.dram_read"] = psum_read
+        totals["ofm.dram_write"] = ofm_write
+    return totals

@@ -1,0 +1,23 @@
+"""Fixture: vectorised module whose kernels skip the traceability link.
+
+The filename contains ``vector`` but this docstring deliberately names no
+scalar reference, so only per-function docstrings can satisfy VER001.
+"""
+
+
+def row_kernel(values):  # VER001: no cross-reference anywhere
+    """Multiply a whole row at once."""
+    return [v * 2 for v in values]
+
+
+def linked_kernel(values):  # ok: names its scalar twin
+    """Row variant of :func:`repro.unary.mac.HubMac.multiply`."""
+    return [v * 3 for v in values]
+
+
+def _private_kernel(values):  # ok: private helpers are exempt
+    return values
+
+
+def undocumented_kernel(values):  # VER001 (EXP004 fires separately)
+    return values

@@ -109,6 +109,39 @@ class TestExportFixture:
         ]
 
 
+class TestVerificationFixture:
+    def test_expected_findings(self):
+        assert _findings("vector_violations.py", select=["ver"]) == [
+            ("VER001", 8),
+            ("VER001", 22),
+        ]
+
+    def test_module_docstring_reference_covers_all_functions(self):
+        from repro.analysis.verification import VerificationChecker
+
+        text = (
+            '"""Row kernels, twins of :class:`repro.unary.mac.HubMac`."""\n'
+            "def bare_kernel(values):\n"
+            '    """No per-function reference needed."""\n'
+            "    return values\n"
+        )
+        source = SourceFile.parse("src/repro/x/vectorized.py", text=text)
+        assert list(VerificationChecker().check(source)) == []
+
+    def test_non_vector_module_is_exempt(self):
+        from repro.analysis.verification import VerificationChecker
+
+        text = "def kernel(values):\n    return values\n"
+        source = SourceFile.parse("src/repro/x/scalar.py", text=text)
+        assert list(VerificationChecker().check(source)) == []
+
+    def test_real_vectorized_module_is_clean(self):
+        import repro.unary.vectorized as vectorized
+
+        findings, _ = run_analysis([vectorized.__file__], select=["ver"])
+        assert findings == []
+
+
 class TestSelect:
     def test_select_by_code(self):
         assert _findings("unit_violations.py", select=["UNIT003"]) == [
@@ -123,6 +156,6 @@ class TestSelect:
 
     def test_whole_fixture_dir(self):
         findings, files_scanned = run_analysis([FIXTURES])
-        assert files_scanned == 6  # 5 fixtures + __init__.py
+        assert files_scanned == 7  # 6 fixtures + __init__.py
         groups = {f.group for f in findings}
-        assert groups == {"unit", "det", "cfg", "exp"}
+        assert groups == {"unit", "det", "cfg", "exp", "ver"}

@@ -1,0 +1,145 @@
+"""Skew/alignment invariants tying the trace to the fold schedule.
+
+The weight-stationary schedule admits one vector every ``mac_cycles``
+cycles (Section III-D: the interval is "deterministically prolonged" to
+the unary MAC latency), so the event trace must show IFM reads exactly
+``2**(n-1) + 1`` cycles apart, OFM writes one MAC after their vector, and
+a final event landing exactly one drain short of the layer's cycle count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ArrayConfig
+from repro.gemm.params import GemmParams
+from repro.gemm.tiling import tile_gemm
+from repro.schemes import ComputeScheme
+from repro.sim.dataflow import schedule_layer, schedule_tile
+from repro.sim.tracegen import generate_trace
+
+PARAMS = GemmParams(name="skew", ih=8, iw=8, ic=4, wh=3, ww=3, oc=10, stride=1)
+
+CONFIGS = [
+    ArrayConfig(rows=4, cols=3, scheme=ComputeScheme.USYSTOLIC_RATE, bits=8, ebt=4),
+    ArrayConfig(rows=4, cols=3, scheme=ComputeScheme.USYSTOLIC_RATE, bits=8, ebt=8),
+    ArrayConfig(rows=4, cols=3, scheme=ComputeScheme.USYSTOLIC_TEMPORAL, bits=8),
+    ArrayConfig(rows=4, cols=3, scheme=ComputeScheme.BINARY_PARALLEL, bits=8),
+    ArrayConfig(rows=2, cols=8, scheme=ComputeScheme.BINARY_SERIAL, bits=8),
+]
+
+_IDS = [f"{c.scheme.value}-ebt{c.ebt}" for c in CONFIGS]
+
+
+def _by_kind(events, variable, op):
+    return [e for e in events if e.variable == variable and e.op == op]
+
+
+class TestMacLatency:
+    def test_crawl_latency_closed_form(self):
+        # The paper's byte-crawling interval: 2**(n-1) + 1 cycles per MAC.
+        assert CONFIGS[0].mac_cycles == (1 << 3) + 1
+        assert CONFIGS[1].mac_cycles == (1 << 7) + 1
+        assert CONFIGS[2].mac_cycles == (1 << 7) + 1
+        assert CONFIGS[3].mac_cycles == 1
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=_IDS)
+class TestTraceSkew:
+    def test_ifm_reads_spaced_one_mac_apart(self, config):
+        events = generate_trace(PARAMS, config)
+        tiling = tile_gemm(PARAMS, config.rows, config.cols)
+        tiles = list(tiling)
+        reads = _by_kind(events, "ifm", "read")
+        vectors = tiles[0].vectors
+        assert len(reads) == tiling.num_tiles * vectors
+        for t in range(tiling.num_tiles):
+            fold = reads[t * vectors : (t + 1) * vectors]
+            gaps = {b.cycle - a.cycle for a, b in zip(fold, fold[1:])}
+            assert gaps <= {config.mac_cycles}
+
+    def test_ofm_write_lands_one_mac_after_its_vector(self, config):
+        events = generate_trace(PARAMS, config)
+        reads = _by_kind(events, "ifm", "read")
+        writes = _by_kind(events, "ofm", "write")
+        assert len(writes) == len(reads)
+        for read, write in zip(reads, writes):
+            assert write.cycle == read.cycle + config.mac_cycles
+
+    def test_psum_read_one_cycle_before_the_write(self, config):
+        events = generate_trace(PARAMS, config)
+        writes = {(e.cycle, e.address) for e in _by_kind(events, "ofm", "write")}
+        for read in _by_kind(events, "ofm", "read"):
+            assert (read.cycle + 1, read.address) in writes
+
+    def test_psum_reads_only_on_reduction_folds(self, config):
+        events = generate_trace(PARAMS, config)
+        tiling = tile_gemm(PARAMS, config.rows, config.cols)
+        tiles = list(tiling)
+        vectors = tiles[0].vectors
+        k_folds = len({tile.k_start for tile in tiling})
+        c_folds = tiling.num_tiles // k_folds
+        expected = (k_folds - 1) * c_folds * vectors
+        assert len(_by_kind(events, "ofm", "read")) == expected
+
+    def test_events_are_time_ordered(self, config):
+        events = generate_trace(PARAMS, config)
+        cycles = [e.cycle for e in events]
+        assert cycles == sorted(cycles)
+
+    def test_last_event_is_one_drain_short_of_the_layer(self, config):
+        events = generate_trace(PARAMS, config)
+        tiling = tile_gemm(PARAMS, config.rows, config.cols)
+        tiles = list(tiling)
+        layer = schedule_layer(tiling, config.mac_cycles)
+        last_tile = tiles[-1]
+        last_drain = schedule_tile(last_tile, config.mac_cycles).drain_cycles
+        assert max(e.cycle for e in events) == layer.compute_cycles - last_drain
+
+    def test_one_weight_burst_per_fold(self, config):
+        events = generate_trace(PARAMS, config)
+        tiling = tile_gemm(PARAMS, config.rows, config.cols)
+        tiles = list(tiling)
+        bursts = _by_kind(events, "weight", "read")
+        assert len(bursts) == tiling.num_tiles
+        elem = (config.bits + 7) // 8
+        assert sum(e.nbytes for e in bursts) == PARAMS.window * PARAMS.oc * elem
+
+
+class TestScheduleFormulas:
+    @pytest.mark.parametrize("config", CONFIGS, ids=_IDS)
+    def test_tile_budget_closed_forms(self, config):
+        tiling = tile_gemm(PARAMS, config.rows, config.cols)
+        tiles = list(tiling)
+        for tile in tiles:
+            ts = schedule_tile(tile, config.mac_cycles)
+            assert ts.preload_cycles == tile.rows + tile.cols - 1
+            assert ts.stream_cycles == tile.vectors * config.mac_cycles
+            assert ts.drain_cycles == tile.rows + tile.cols - 2
+            assert (
+                ts.active_pe_mac_cycles
+                == tile.rows * tile.cols * tile.vectors * config.mac_cycles
+            )
+            assert ts.total_cycles == (
+                ts.preload_cycles + ts.stream_cycles + ts.drain_cycles
+            )
+
+    def test_layer_is_sum_of_folds_plus_last_drain(self):
+        config = CONFIGS[0]
+        tiling = tile_gemm(PARAMS, config.rows, config.cols)
+        tiles = list(tiling)
+        schedules = [schedule_tile(t, config.mac_cycles) for t in tiling]
+        layer = schedule_layer(tiling, config.mac_cycles)
+        assert layer.compute_cycles == (
+            sum(ts.preload_cycles + ts.stream_cycles for ts in schedules)
+            + schedules[-1].drain_cycles
+        )
+        assert layer.active_pe_mac_cycles == sum(
+            ts.active_pe_mac_cycles for ts in schedules
+        )
+        assert layer.num_tiles == tiling.num_tiles
+
+    def test_mac_cycles_must_be_positive(self):
+        first = next(iter(tile_gemm(PARAMS, 4, 3)))
+        with pytest.raises(ValueError):
+            schedule_tile(first, 0)

@@ -90,3 +90,48 @@ def test_cordiv_bounded_error_property(a, b):
 def test_insqrt_bounded_error_property(v):
     y = insqrt(v, 7).value
     assert abs(y - (v / 128) ** 0.5) < 0.15
+
+
+class TestCordivEdgeProperties:
+    """Edge-of-range properties: zero operands and saturated quotients."""
+
+    @given(b=st.integers(min_value=1, max_value=128))
+    @settings(max_examples=30, deadline=None)
+    def test_zero_dividend_is_exactly_zero(self, b):
+        # a's stream has no ones, so the hold register never sets: the
+        # quotient is exactly 0.0 for *every* divisor, not approximately.
+        assert cordiv(0, b, 7).value == 0.0
+
+    @given(a=st.integers(min_value=0, max_value=128))
+    @settings(max_examples=30, deadline=None)
+    def test_full_scale_divisor_is_exact(self, a):
+        # b all-ones samples a on every cycle: quotient == P_a exactly.
+        assert cordiv(a, 128, 7).value == a / 128
+
+    @given(
+        a=st.integers(min_value=-300, max_value=300),
+        b=st.integers(min_value=-300, max_value=300),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_invalid_operands_always_raise(self, a, b):
+        valid = 0 <= a <= 128 and 0 < b <= 128 and a <= b
+        if valid:
+            q = cordiv(a, b, 7).value
+            assert 0.0 <= q <= 1.0
+        else:
+            with pytest.raises(ValueError):
+                cordiv(a, b, 7)
+
+
+class TestInsqrtEdgeProperties:
+    @given(bits=st.integers(min_value=4, max_value=8))
+    @settings(max_examples=10, deadline=None)
+    def test_zero_value_is_exactly_zero(self, bits):
+        # x has no ones, so the fed-back hold register clears on the very
+        # first sampled cycle and the emitted period is all zeros.
+        assert insqrt(0, bits).value == 0.0
+
+    @given(v=st.integers(min_value=0, max_value=128))
+    @settings(max_examples=30, deadline=None)
+    def test_output_is_a_probability(self, v):
+        assert 0.0 <= insqrt(v, 7).value <= 1.0

@@ -87,3 +87,62 @@ def test_unary_error_bound_property(flips, value):
     s = BitstreamGenerator(6).generate_float(value)
     err = unary_fault_error(s, flips=flips, seed=flips)
     assert err <= flips / len(s) + 1e-12
+
+
+class TestFaultRateEdgeProperties:
+    """The two extreme fault rates, exactly: 0.0 (no-op) and 1.0 (invert)."""
+
+    @given(
+        value=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fault_rate_zero_is_error_free(self, value, seed):
+        assert unary_fault_error(_stream(value), flips=0, seed=seed) == 0.0
+
+    @given(
+        value=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fault_rate_one_inverts_the_stream(self, value, seed):
+        # Flipping every bit maps P -> 1-P, so the error is |1 - 2P|
+        # exactly, independent of the flip order the seed picks.
+        s = _stream(value)
+        err = unary_fault_error(s, flips=len(s), seed=seed)
+        assert err == pytest.approx(abs(1.0 - 2.0 * s.value), abs=1e-12)
+
+    @given(
+        flips=st.integers(min_value=0, max_value=128),
+        seed=st.integers(min_value=0, max_value=99),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_zero_stream_error_is_exactly_the_fault_rate(self, flips, seed):
+        # Every flip of an all-zeros stream adds a one: err == flips/L.
+        s = _stream(0.0)
+        err = unary_fault_error(s, flips=flips, seed=seed)
+        assert err == pytest.approx(flips / len(s), abs=1e-12)
+
+
+class TestBinaryFaultEdgeProperties:
+    @given(bits=st.integers(min_value=2, max_value=16))
+    @settings(max_examples=15, deadline=None)
+    def test_msb_flip_of_max_magnitude_word(self, bits):
+        # The max-magnitude word loses exactly half scale at the MSB —
+        # the position-dependent damage unary streams never exhibit.
+        value = (1 << bits) - 1
+        assert binary_fault_error(value, bit=bits - 1, bits=bits) == 0.5
+
+    @given(
+        bits=st.integers(min_value=2, max_value=16),
+        bit=st.integers(min_value=0, max_value=15),
+        value=st.integers(min_value=0, max_value=(1 << 16) - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_error_is_exactly_the_bit_weight(self, bits, bit, value):
+        if bit >= bits or value >= (1 << bits):
+            with pytest.raises(ValueError):
+                binary_fault_error(value, bit=bit, bits=bits)
+        else:
+            expected = (1 << bit) / (1 << bits)
+            assert binary_fault_error(value, bit=bit, bits=bits) == expected

@@ -1,0 +1,118 @@
+"""The vectorised row kernel and its bounded thread-local sequence cache.
+
+Scalar equivalence lives in the differential suite (``tests/verify``);
+this file pins the cache contract: per-thread isolation, LRU bound, and
+bit-identical results under concurrent mixed-width hammering.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.unary import vectorized
+from repro.unary.bitstream import Coding
+from repro.unary.mac import HubMac
+from repro.unary.vectorized import _SEQ_CACHE_MAX, _seq_cache, hub_mac_row
+
+
+def _reference_row(ifm, weights, bits, ebt, coding):
+    mac = HubMac(bits, ebt=ebt, coding=coding)
+    scale = 1 << (bits - 1)
+    return [float(mac.multiply(int(w), ifm).product * scale) for w in weights]
+
+
+class TestScalarEquivalence:
+    @pytest.mark.parametrize("bits,ebt", [(4, None), (8, 4), (8, 8), (5, 2)])
+    def test_matches_hubmac(self, bits, ebt):
+        rng = np.random.default_rng(7)
+        limit = (1 << (bits - 1)) - 1
+        ifm = int(rng.integers(-limit, limit + 1))
+        weights = rng.integers(-limit, limit + 1, size=9)
+        row = hub_mac_row(ifm, weights, bits, ebt=ebt)
+        assert list(row) == _reference_row(ifm, weights, bits, ebt, Coding.RATE)
+
+    def test_temporal_coding(self):
+        weights = np.arange(-3, 4)
+        row = hub_mac_row(2, weights, 4, coding=Coding.TEMPORAL)
+        assert list(row) == _reference_row(
+            2, weights, 4, None, Coding.TEMPORAL
+        )
+
+
+class TestSeqCache:
+    def test_cache_is_bounded(self):
+        cache = _seq_cache()
+        cache.clear()
+        # 2 kinds x 11 widths = 22 distinct keys, all cheap to build.
+        for bits in range(2, 13):
+            vectorized._sequence("sobol", bits)
+            vectorized._sequence("counter", bits)
+        assert len(cache) <= _SEQ_CACHE_MAX
+
+    def test_lru_keeps_hot_entries(self):
+        cache = _seq_cache()
+        cache.clear()
+        hot_value = vectorized._sequence("sobol", 3)
+        hot = ("sobol", 3)
+        for bits in range(2, 2 + _SEQ_CACHE_MAX):
+            vectorized._sequence("counter", bits)
+            vectorized._sequence("sobol", 3)  # re-touch the hot entry
+        assert hot in cache
+        assert np.array_equal(vectorized._sequence("sobol", 3), hot_value)
+        assert len(cache) <= _SEQ_CACHE_MAX
+
+    def test_evicted_entry_rebuilds_identically(self):
+        cache = _seq_cache()
+        cache.clear()
+        first = vectorized._sequence("counter", 4).copy()
+        for bits in range(2, 3 + _SEQ_CACHE_MAX):
+            vectorized._sequence("sobol", bits)
+        assert ("counter", 4) not in cache
+        assert np.array_equal(vectorized._sequence("counter", 4), first)
+
+    def test_cache_is_thread_local(self):
+        hub_mac_row(1, [1], 4)
+        main_cache = _seq_cache()
+        seen: dict[str, object] = {}
+
+        def probe():
+            hub_mac_row(1, [1], 4)
+            seen["cache"] = _seq_cache()
+
+        worker = threading.Thread(target=probe)
+        worker.start()
+        worker.join()
+        assert seen["cache"] is not main_cache
+
+    def test_concurrent_mixed_widths_match_serial(self):
+        rng = np.random.default_rng(11)
+        tasks = []
+        for _ in range(96):
+            bits = int(rng.integers(2, 9))
+            limit = (1 << (bits - 1)) - 1
+            ebt = None if bits == 2 else int(rng.integers(2, bits + 1))
+            ifm = int(rng.integers(-limit, limit + 1))
+            weights = tuple(
+                int(w) for w in rng.integers(-limit, limit + 1, size=6)
+            )
+            tasks.append((ifm, weights, bits, ebt))
+
+        def run(task):
+            ifm, weights, bits, ebt = task
+            return list(hub_mac_row(ifm, np.asarray(weights), bits, ebt=ebt))
+
+        serial = [run(task) for task in tasks]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            threaded = list(pool.map(run, tasks))
+        assert threaded == serial
+        assert len(_seq_cache()) <= _SEQ_CACHE_MAX
+
+    def test_no_module_level_mutable_cache(self):
+        # The unbounded module-global dict this cache replaced must not
+        # come back; the only shared state is the threading.local holder.
+        assert not hasattr(vectorized, "_SEQ_CACHE")
+        assert isinstance(vectorized._SEQ_CACHE_LOCAL, threading.local)

@@ -1,0 +1,51 @@
+"""Mutation check: an injected kernel bug must be caught *and* shrunk.
+
+The acceptance bar from the subsystem's design: an off-by-one planted in
+``hub_mac_row`` is detected by the seeded fuzz campaign and shrinks to a
+counterexample with at most three non-default fields.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.unary import vectorized
+from repro.verify.diff import VerifyCase, run_case
+from repro.verify.fuzz import run_fuzz
+
+_REAL_HUB_MAC_ROW = vectorized.hub_mac_row
+
+
+def _off_by_one_hub_mac_row(ifm, weights, bits, ebt=None, coding=None):
+    """The planted bug: one extra enabled-cycle count on every product."""
+    kwargs = {} if coding is None else {"coding": coding}
+    out = _REAL_HUB_MAC_ROW(ifm, weights, bits, ebt=ebt, **kwargs)
+    effective = bits if ebt is None else ebt
+    return out + float((1 << (bits - effective)) * (1 << (bits - 1)))
+
+
+@pytest.fixture
+def mutated(monkeypatch):
+    monkeypatch.setattr(vectorized, "hub_mac_row", _off_by_one_hub_mac_row)
+
+
+class TestMutationIsCaught:
+    def test_minimal_case_detects_the_mutant(self, mutated):
+        report = run_case(VerifyCase())
+        assert not report.ok
+        assert report.mismatches[0].check == "kernel.product[0]"
+        assert report.mismatches[0].delta == 8.0  # (1 << 0) * (1 << 3)
+
+    def test_fuzz_finds_and_shrinks_the_mutant(self, mutated, tmp_path):
+        # jobs=1 keeps execution in-process so the monkeypatch is seen.
+        result = run_fuzz(seed=0, budget=60, jobs=1, out_dir=tmp_path / "cx")
+        assert not result.ok, "the mutation must be detected"
+        worst = max(
+            len(report.case.nondefault_fields()) for report in result.failures
+        )
+        assert worst <= 3, "counterexamples must shrink to <= 3 fields"
+        assert result.written, "failures must be persisted for replay"
+
+    def test_clean_tree_after_restore(self):
+        assert run_case(VerifyCase()).ok

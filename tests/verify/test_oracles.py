@@ -1,0 +1,126 @@
+"""The golden models against the implementations they mirror.
+
+Each oracle is written independently of the code it checks (fancy-index
+gathers and closed forms, not loop transcriptions), so agreement here is
+evidence, not tautology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gemm.im2col import im2col
+from repro.gemm.params import GemmParams
+from repro.gemm.tiling import tile_gemm
+from repro.memory.hierarchy import MemoryConfig
+from repro.schemes import ComputeScheme, scheme_mac_cycles
+from repro.sim.dataflow import schedule_layer
+from repro.sim.traffic import profile_traffic
+from repro.verify.oracles import (
+    compute_cycles_oracle,
+    conv_oracle,
+    gemm_oracle,
+    im2col_oracle,
+    mac_latency_oracle,
+    traffic_oracle,
+)
+
+PARAMS = [
+    GemmParams(name="p1", ih=5, iw=5, ic=2, wh=2, ww=2, oc=3, stride=1),
+    GemmParams(name="p2", ih=8, iw=6, ic=3, wh=3, ww=3, oc=5, stride=1),
+    GemmParams(name="p3", ih=7, iw=9, ic=1, wh=2, ww=3, oc=4, stride=2),
+    GemmParams(name="p4", ih=3, iw=3, ic=1, wh=1, ww=1, oc=1, stride=1),
+]
+
+
+class TestGemmOracle:
+    def test_exact_integer_matmul(self):
+        rng = np.random.default_rng(0)
+        lhs = rng.integers(-100, 100, size=(6, 7))
+        rhs = rng.integers(-100, 100, size=(7, 4))
+        assert np.array_equal(gemm_oracle(lhs, rhs), (lhs @ rhs).astype(np.float64))
+
+
+class TestIm2colOracle:
+    @pytest.mark.parametrize("params", PARAMS, ids=lambda p: p.name)
+    def test_matches_implementation(self, params):
+        rng = np.random.default_rng(1)
+        ifm = rng.integers(-8, 8, size=(params.ih, params.iw, params.ic))
+        assert np.array_equal(im2col_oracle(params, ifm), im2col(params, ifm))
+
+    def test_oracle_shape(self):
+        params = PARAMS[1]
+        ifm = np.zeros((params.ih, params.iw, params.ic), dtype=np.int64)
+        assert im2col_oracle(params, ifm).shape == (
+            params.oh * params.ow,
+            params.window,
+        )
+
+
+class TestConvOracle:
+    @pytest.mark.parametrize("params", PARAMS, ids=lambda p: p.name)
+    def test_matches_im2col_gemm(self, params):
+        rng = np.random.default_rng(2)
+        ifm = rng.integers(-8, 8, size=(params.ih, params.iw, params.ic))
+        weight = rng.integers(
+            -8, 8, size=(params.oc, params.wh, params.ww, params.ic)
+        )
+        via_gemm = gemm_oracle(
+            im2col_oracle(params, ifm), weight.reshape(params.oc, -1).T
+        ).reshape(params.oh, params.ow, params.oc)
+        assert np.array_equal(conv_oracle(params, weight, ifm), via_gemm)
+
+
+class TestMacLatencyOracle:
+    @pytest.mark.parametrize("scheme", list(ComputeScheme))
+    @pytest.mark.parametrize("bits,ebt", [(8, None), (8, 4), (4, 2), (16, None)])
+    def test_matches_scheme_mac_cycles(self, scheme, bits, ebt):
+        if ebt is not None and not scheme.supports_early_termination:
+            pytest.skip("scheme has no early termination")
+        assert mac_latency_oracle(scheme, bits, ebt) == scheme_mac_cycles(
+            scheme, bits, ebt
+        )
+
+    def test_crawl_latency_closed_form(self):
+        # The paper's 2**(n-1) + 1 byte-crawling MAC latency.
+        for bits in (4, 8):
+            assert (
+                mac_latency_oracle(ComputeScheme.USYSTOLIC_TEMPORAL, bits)
+                == (1 << (bits - 1)) + 1
+            )
+        assert mac_latency_oracle(ComputeScheme.USYSTOLIC_RATE, 8, 5) == (1 << 4) + 1
+
+
+class TestComputeCyclesOracle:
+    @pytest.mark.parametrize("params", PARAMS, ids=lambda p: p.name)
+    @pytest.mark.parametrize("rows,cols", [(2, 2), (4, 3), (1, 1), (8, 8)])
+    def test_matches_schedule_layer(self, params, rows, cols):
+        mac = 17
+        tiling = tile_gemm(params, rows, cols)
+        assert (
+            compute_cycles_oracle(params, rows, cols, mac)
+            == schedule_layer(tiling, mac).compute_cycles
+        )
+
+
+class TestTrafficOracle:
+    @pytest.mark.parametrize("params", PARAMS, ids=lambda p: p.name)
+    @pytest.mark.parametrize("sram", [None, 1024, 64 * 1024])
+    def test_matches_profile_traffic(self, params, sram):
+        bits = 8
+        rows, cols = 4, 3
+        memory = MemoryConfig(sram_bytes_per_variable=sram)
+        tiling = tile_gemm(params, rows, cols)
+        profile = profile_traffic(params, tiling, bits, memory)
+        oracle = traffic_oracle(params, rows, cols, bits, memory)
+        for key, expected in oracle.items():
+            variable, field = key.split(".", 1)
+            assert getattr(profile.variable(variable), field) == expected, key
+
+    def test_weight_read_once_from_dram(self):
+        params = PARAMS[1]
+        oracle = traffic_oracle(
+            params, 4, 3, 8, MemoryConfig(sram_bytes_per_variable=None)
+        )
+        assert oracle["weight.dram_read"] == params.window * params.oc

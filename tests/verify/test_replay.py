@@ -1,0 +1,41 @@
+"""Replay the checked-in counterexample corpus, forever.
+
+Any case ever caught by the fuzzer (or planted as a regression corner)
+lands in ``tests/verify/counterexamples/`` and is re-run on every test
+invocation: once fixed, a bug stays fixed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify.cli import main
+from repro.verify.diff import run_case
+from repro.verify.fuzz import load_counterexample
+
+CORPUS = sorted((Path(__file__).parent / "counterexamples").glob("*.json"))
+
+
+def test_corpus_is_populated():
+    assert len(CORPUS) >= 4, "the regression corpus must not silently vanish"
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_counterexample_stays_fixed(path):
+    report = run_case(load_counterexample(path))
+    assert report.ok, "\n".join(m.render() for m in report.mismatches)
+
+
+def test_cli_replay_runs_the_corpus(capsys):
+    corpus_dir = str(Path(__file__).parent / "counterexamples")
+    assert main(["replay", corpus_dir]) == 0
+    out = capsys.readouterr().out
+    assert f"{len(CORPUS)} counterexamples" in out
+    assert "0 still failing" in out
+
+
+def test_cli_replay_missing_path_is_a_usage_error(tmp_path, capsys):
+    assert main(["replay", str(tmp_path / "absent")]) == 2
+    assert "error" in capsys.readouterr().err
