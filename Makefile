@@ -4,7 +4,7 @@ export PYTHONPATH := src
 .PHONY: lint test verify fuzz bench eval all
 
 lint:
-	$(PYTHON) -m repro.analysis
+	$(PYTHON) -m repro.analysis --baseline analysis-baseline.json
 
 test:
 	$(PYTHON) -m pytest -q tests/

@@ -1,8 +1,10 @@
 """Repo-native static analysis and runtime contracts.
 
 ``repro.analysis`` keeps the reproduction honest about the physical
-quantities it models.  Five AST checkers run over the tree via
-``python -m repro.analysis`` (and the CI lint job / pytest gate):
+quantities it models and the architecture it promised.  Per-file AST
+checkers run alongside whole-program passes over a shared one-parse
+module index, via ``python -m repro.analysis`` (and the CI lint job /
+pytest gate):
 
 - **unit** (``UNIT*``) — dimensional analysis over unit-suffixed names
   (``_pj``, ``_um2``, ``_cycles``, ``_bytes``, ``ge``, ``_per_``
@@ -13,40 +15,78 @@ quantities it models.  Five AST checkers run over the tree via
 - **exp** (``EXP*``) — ``__all__``/docstring export hygiene;
 - **ver** (``VER*``) — verification traceability: vectorised kernels
   must cross-reference the scalar model ``repro.verify`` diffs them
-  against.
+  against;
+- **arch** (``ARCH*``) — the declared layer DAG (``analysis.layers``):
+  forbidden upward imports, import-time cycles, undeclared packages;
+- **flow** (``FLOW*``) — interprocedural unit flow: argument/parameter
+  and return/assignment unit agreement across resolved call sites;
+- **dead** (``DEAD*``) — ``__all__`` exports and modules unreachable
+  from every entrypoint, test, example and benchmark;
+- **sup** (``SUP001``) — suppression comments that suppress nothing.
 
 :mod:`repro.analysis.contracts` carries the runtime half of the config
 contract.  Suppress individual findings with
-``# repro-lint: ignore[group-or-code]``; see ``docs/analysis.md``.
+``# repro-lint: ignore[group-or-code]``; freeze known debt in
+``analysis-baseline.json`` (ratcheted: it may only shrink); see
+``docs/analysis.md``.
 """
 
 from __future__ import annotations
 
+from .arch import ArchChecker
+from .baseline import Baseline, BaselineDelta
 from .config_checks import ConfigChecker
+from .dead import DeadChecker
 from .determinism import DeterminismChecker
 from .exports import ExportChecker
 from .findings import Finding
+from .flow import FlowChecker
+from .modgraph import ModuleIndex, build_index, module_name_for
 from .reporting import render_json, render_text
-from .runner import ALL_CHECKERS, default_paths, main, run_analysis
+from .runner import (
+    ALL_CHECKERS,
+    PROJECT_CHECKERS,
+    AnalysisResult,
+    analyze,
+    context_paths,
+    default_paths,
+    main,
+    run_analysis,
+    update_architecture_doc,
+)
 from .units import UnitChecker, parse_unit
 from .verification import VerificationChecker
-from .visitor import Checker, SourceFile, collect_sources
+from .visitor import Checker, ProjectChecker, SourceFile, collect_sources
 
 __all__ = [
     "ALL_CHECKERS",
+    "PROJECT_CHECKERS",
+    "AnalysisResult",
+    "ArchChecker",
+    "Baseline",
+    "BaselineDelta",
     "Checker",
     "ConfigChecker",
+    "DeadChecker",
     "DeterminismChecker",
     "ExportChecker",
     "Finding",
+    "FlowChecker",
+    "ModuleIndex",
+    "ProjectChecker",
     "SourceFile",
     "UnitChecker",
     "VerificationChecker",
+    "analyze",
+    "build_index",
     "collect_sources",
+    "context_paths",
     "default_paths",
     "main",
+    "module_name_for",
     "parse_unit",
     "render_json",
     "render_text",
     "run_analysis",
+    "update_architecture_doc",
 ]

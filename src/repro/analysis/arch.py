@@ -1,0 +1,153 @@
+"""Architecture checker (``ARCH*``): layering contract + import cycles.
+
+Enforces the layer DAG declared in :mod:`repro.analysis.layers` over the
+whole-program import graph:
+
+- ``ARCH001`` — a module imports a unit in a *higher* layer (``unary``
+  reaching into ``sim``); entrypoint modules (``cli``/``__main__``) and
+  the root facade are sanctioned composition roots and exempt;
+- ``ARCH002`` — an import-time module cycle (lazy function-scope and
+  ``TYPE_CHECKING`` imports excluded): the static shape of a circular
+  import crash;
+- ``ARCH003`` — a top-level unit under ``repro`` that the layer spec
+  does not declare: new subsystems must take an explicit position.
+
+``ARCH001`` fires per offending import statement, so a layering
+inversion lists every site that must move; ``ARCH002`` fires once per
+strongly connected component.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from . import layers
+from .findings import Finding
+from .modgraph import (
+    ModuleIndex,
+    import_time_graph,
+    strongly_connected_components,
+)
+from .visitor import ProjectChecker
+
+__all__ = ["ArchChecker", "layer_violations"]
+
+
+def layer_violations(index: ModuleIndex) -> set[tuple[str, str]]:
+    """Package pairs ``(from, to)`` that invert the declared layering."""
+    pairs: set[tuple[str, str]] = set()
+    for info in index.targets():
+        src_unit = layers.package_key(info.name)
+        if src_unit is None or layers.is_exempt_module(info.name):
+            continue
+        src_layer = layers.layer_index(src_unit)
+        if src_layer is None:
+            continue
+        for edge in info.imports:
+            dst_unit = layers.package_key(edge.target)
+            if dst_unit is None or dst_unit in ("", src_unit):
+                continue
+            dst_layer = layers.layer_index(dst_unit)
+            if dst_layer is not None and dst_layer > src_layer:
+                pairs.add((src_unit, dst_unit))
+    return pairs
+
+
+class ArchChecker(ProjectChecker):
+    """Layer-DAG and import-cycle enforcement over the module graph."""
+
+    name = "arch"
+    codes = {
+        "ARCH001": "import crosses the layer DAG upward (forbidden edge)",
+        "ARCH002": "import-time module cycle (circular import shape)",
+        "ARCH003": "top-level unit missing from the declared layer spec",
+    }
+
+    def check_project(self, index: ModuleIndex) -> Iterator[Finding]:
+        yield from self._check_layering(index)
+        yield from self._check_cycles(index)
+        yield from self._check_declared(index)
+
+    # -- ARCH001 ---------------------------------------------------------
+
+    def _check_layering(self, index: ModuleIndex) -> Iterator[Finding]:
+        for info in sorted(index.targets(), key=lambda m: m.name):
+            src_unit = layers.package_key(info.name)
+            if src_unit is None or src_unit == "":
+                continue
+            if layers.is_exempt_module(info.name):
+                continue
+            src_layer = layers.layer_index(src_unit)
+            if src_layer is None:
+                continue  # undeclared: ARCH003's problem, not ARCH001's
+            for edge in info.imports:
+                dst_unit = layers.package_key(edge.target)
+                if dst_unit in (None, "", src_unit):
+                    continue
+                dst_layer = layers.layer_index(dst_unit)
+                if dst_layer is None or dst_layer <= src_layer:
+                    continue
+                yield self.finding_at(
+                    info.source.path,
+                    edge.lineno,
+                    0,
+                    "ARCH001",
+                    f"{info.name} (layer '{layers.layer_name(src_unit)}') "
+                    f"imports {edge.target} (layer "
+                    f"'{layers.layer_name(dst_unit)}'): imports must flow "
+                    "downward",
+                )
+
+    # -- ARCH002 ---------------------------------------------------------
+
+    def _check_cycles(self, index: ModuleIndex) -> Iterator[Finding]:
+        graph = import_time_graph(index)
+        for component in strongly_connected_components(graph):
+            members = set(component)
+            # Anchor at the first member that is a lint target, at its
+            # first import participating in the cycle.
+            anchor = None
+            for name in component:
+                info = index.get(name)
+                if info is None or not info.is_target:
+                    continue
+                for edge in info.imports:
+                    if edge.lazy or edge.target not in members:
+                        continue
+                    anchor = (info, edge)
+                    break
+                if anchor:
+                    break
+            if anchor is None:
+                continue
+            info, edge = anchor
+            yield self.finding_at(
+                info.source.path,
+                edge.lineno,
+                0,
+                "ARCH002",
+                "import-time cycle: " + " -> ".join(component + [component[0]]),
+            )
+
+    # -- ARCH003 ---------------------------------------------------------
+
+    def _check_declared(self, index: ModuleIndex) -> Iterator[Finding]:
+        declared = layers.declared_units()
+        seen: set[str] = set()
+        for info in sorted(index.targets(), key=lambda m: m.name):
+            unit = layers.package_key(info.name)
+            if unit in (None, "") or unit in declared or unit in seen:
+                continue
+            seen.add(unit)
+            # Anchor at the unit's own __init__ when indexed, else at the
+            # first module observed in it.
+            init = index.get(f"{layers.ROOT_PACKAGE}.{unit}")
+            anchor = init if init is not None else info
+            yield self.finding_at(
+                anchor.source.path,
+                1,
+                0,
+                "ARCH003",
+                f"package 'repro.{unit}' is not declared in the layer spec "
+                "(repro/analysis/layers.py): give it a layer",
+            )

@@ -1,0 +1,125 @@
+"""Findings baseline: land new checkers with known debt frozen.
+
+A baseline file (``analysis-baseline.json``) records accepted findings
+as ``(path, code, message)`` entries — deliberately **without** line
+numbers, so unrelated edits above a known finding do not churn the file.
+The runner then ratchets:
+
+- a finding *not* in the baseline is **new** and fails the run;
+- a baseline entry matching *no* current finding is **stale** and also
+  fails the run — debt may only shrink, and shrinkage must be recorded
+  by rewriting the file (``--write-baseline``).
+
+Matching is multiset-aware: two identical findings need two entries.
+The clean tree ships an **empty** baseline; the mechanism exists so a
+future checker can land before its last true positive is fixed, not as
+a place to park known bugs indefinitely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = ["Baseline", "BaselineDelta", "BASELINE_SCHEMA_VERSION"]
+
+BASELINE_SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineDelta:
+    """Result of applying a baseline to the current findings."""
+
+    #: findings not covered by the baseline — fail the run.
+    new: tuple[Finding, ...]
+    #: findings matched (and silenced) by baseline entries.
+    accepted: tuple[Finding, ...]
+    #: baseline entries matching nothing — stale debt, fail the run.
+    stale: tuple[tuple[str, str, str], ...]
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing is new and nothing is stale."""
+        return not self.new and not self.stale
+
+
+class Baseline:
+    """Multiset of accepted ``(path, code, message)`` finding keys."""
+
+    def __init__(self, entries: list[tuple[str, str, str]] | None = None):
+        self.entries: list[tuple[str, str, str]] = list(entries or [])
+
+    @staticmethod
+    def key(finding: Finding) -> tuple[str, str, str]:
+        """Line-number-free identity of a finding."""
+        return (finding.path, finding.code, finding.message)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; raises ``ValueError`` on a bad document."""
+        try:
+            doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"baseline {path}: invalid JSON ({exc})") from exc
+        if not isinstance(doc, dict) or "entries" not in doc:
+            raise ValueError(f"baseline {path}: expected an 'entries' list")
+        version = doc.get("schema_version")
+        if version != BASELINE_SCHEMA_VERSION:
+            raise ValueError(
+                f"baseline {path}: schema_version {version!r} is not "
+                f"{BASELINE_SCHEMA_VERSION}; regenerate with --write-baseline"
+            )
+        entries = []
+        for raw in doc["entries"]:
+            try:
+                entries.append((raw["path"], raw["code"], raw["message"]))
+            except (TypeError, KeyError) as exc:
+                raise ValueError(
+                    f"baseline {path}: entry needs path/code/message"
+                ) from exc
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        """Baseline accepting exactly the given findings."""
+        return cls(sorted(cls.key(f) for f in findings))
+
+    def save(self, path: str | Path) -> None:
+        """Write the baseline document (sorted, stable for diffs)."""
+        doc = {
+            "schema_version": BASELINE_SCHEMA_VERSION,
+            "entries": [
+                {"path": p, "code": c, "message": m}
+                for p, c, m in sorted(self.entries)
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(doc, indent=2) + "\n", encoding="utf-8"
+        )
+
+    def apply(self, findings: list[Finding]) -> BaselineDelta:
+        """Split current findings into new vs accepted; report stale debt."""
+        budget: dict[tuple[str, str, str], int] = {}
+        for entry in self.entries:
+            budget[entry] = budget.get(entry, 0) + 1
+        new: list[Finding] = []
+        accepted: list[Finding] = []
+        for finding in sorted(findings):
+            key = self.key(finding)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                accepted.append(finding)
+            else:
+                new.append(finding)
+        stale = tuple(
+            key
+            for key in sorted(budget)
+            for _ in range(budget[key])
+            if budget[key] > 0
+        )
+        return BaselineDelta(
+            new=tuple(new), accepted=tuple(accepted), stale=stale
+        )

@@ -19,6 +19,10 @@ GROUPS = {
     "CFG": "cfg",
     "EXP": "exp",
     "VER": "ver",
+    "ARCH": "arch",
+    "FLOW": "flow",
+    "DEAD": "dead",
+    "SUP": "sup",
 }
 
 

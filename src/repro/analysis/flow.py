@@ -1,0 +1,381 @@
+"""Interprocedural unit-flow checker (``FLOW*``).
+
+The ``unit`` checker reasons inside one expression; this pass follows a
+quantity **across a call site**.  Using the whole-program module index it
+resolves each call to the function (or config-dataclass constructor) that
+actually receives the value — through from-imports, module aliases and
+``__init__`` re-export chains — then compares the unit suffix of every
+argument expression with the suffix of the parameter it binds to:
+
+- ``FLOW001`` — argument and parameter disagree on *dimension*
+  (``simulate(total_pj)`` into ``def simulate(total_cycles)``);
+- ``FLOW002`` — same dimension, different *scale* (a ``_nj`` value into
+  a ``_pj`` parameter: silently off by 1000x);
+- ``FLOW003`` — at an assignment site, the callee's **return
+  expressions** carry a consistent unit that contradicts the target's
+  suffix; fires only when the callee's *name* carries no unit (that
+  case is already ``UNIT004``), so this is the genuinely
+  interprocedural half.
+
+Resolution is module-level and execution-free: names shadowed by
+function parameters or local assignments are never resolved, ``*args``
+stops positional matching, and unknown callees are skipped — the pass
+prefers silence to a false positive.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Iterator
+
+from .findings import Finding
+from .modgraph import ModuleIndex, ModuleInfo, SymbolDef, resolve_callee
+from .units import Unit, parse_unit
+from .visitor import ProjectChecker
+
+__all__ = ["FlowChecker", "Signature", "callee_signature", "infer_expr_unit"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Signature:
+    """What a call site needs to know about a callee."""
+
+    module: str
+    name: str
+    kind: str  # "function" | "class"
+    #: positional-or-keyword parameter names, in order (no self).
+    params: tuple[str, ...]
+    kwonly: tuple[str, ...]
+    has_vararg: bool
+    has_kwarg: bool
+    name_unit: Unit | None
+    #: units inferred from the function's own return expressions.
+    return_units: tuple[Unit, ...]
+
+
+def infer_expr_unit(node: ast.AST) -> Unit | None:
+    """Unit carried by an expression, from trailing name tokens only.
+
+    A deliberately shallow mirror of the ``unit`` checker's inference:
+    names and attributes by suffix, calls by callee name, unary sign
+    transparent, additive chains must agree, multiplicative operators
+    erase (conversions are legal there).
+    """
+    if isinstance(node, ast.Name):
+        return parse_unit(node.id)
+    if isinstance(node, ast.Attribute):
+        return parse_unit(node.attr)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            return parse_unit(func.attr)
+        if isinstance(func, ast.Name):
+            return parse_unit(func.id)
+        return None
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        return infer_expr_unit(node.operand)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        left = infer_expr_unit(node.left)
+        right = infer_expr_unit(node.right)
+        if left is not None and right is not None:
+            if left.same_dimension(right) and left.same_scale(right):
+                return left
+            return None
+        return left if right is None else right
+    return None
+
+
+def callee_signature(info: ModuleInfo, symbol: SymbolDef) -> Signature | None:
+    """Signature of a resolved callee, or ``None`` when unintrospectable."""
+    node = symbol.node
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return _function_signature(info, node, kind="function", drop_self=False)
+    if isinstance(node, ast.ClassDef):
+        init = next(
+            (
+                stmt
+                for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == "__init__"
+            ),
+            None,
+        )
+        if init is not None:
+            return _function_signature(info, init, kind="class", drop_self=True)
+        if _is_dataclass(node):
+            fields = tuple(
+                stmt.target.id
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and not stmt.target.id.startswith("_")
+            )
+            if fields:
+                return Signature(
+                    module=info.name,
+                    name=node.name,
+                    kind="class",
+                    params=fields,
+                    kwonly=(),
+                    has_vararg=False,
+                    has_kwarg=False,
+                    name_unit=parse_unit(node.name),
+                    return_units=(),
+                )
+        return None
+    return None
+
+
+def _function_signature(
+    info: ModuleInfo,
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    kind: str,
+    drop_self: bool,
+) -> Signature:
+    args = node.args
+    params = tuple(a.arg for a in (*args.posonlyargs, *args.args))
+    if drop_self and params:
+        params = params[1:]
+    return Signature(
+        module=info.name,
+        name=node.name,
+        kind=kind,
+        params=params,
+        kwonly=tuple(a.arg for a in args.kwonlyargs),
+        has_vararg=args.vararg is not None,
+        has_kwarg=args.kwarg is not None,
+        name_unit=parse_unit(node.name),
+        return_units=_return_units(node) if kind == "function" else (),
+    )
+
+
+def _return_units(node: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[Unit, ...]:
+    units: list[Unit] = []
+    stack = list(node.body)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            unit = infer_expr_unit(stmt.value)
+            if unit is not None:
+                units.append(unit)
+        stack.extend(ast.iter_child_nodes(stmt))
+    return tuple(units)
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+class FlowChecker(ProjectChecker):
+    """Unit agreement across resolved call sites and return assignments."""
+
+    name = "flow"
+    codes = {
+        "FLOW001": "call argument unit dimension disagrees with the callee "
+        "parameter's suffix",
+        "FLOW002": "call argument scale disagrees with the callee "
+        "parameter's suffix (same dimension)",
+        "FLOW003": "assigned call result contradicts the callee's inferred "
+        "return unit",
+    }
+
+    def check_project(self, index: ModuleIndex) -> Iterator[Finding]:
+        signatures: dict[tuple[str, str], Signature | None] = {}
+        for info in sorted(index.targets(), key=lambda m: m.name):
+            yield from self._check_module(index, info, signatures)
+
+    # -- per-module walk -------------------------------------------------
+
+    def _check_module(
+        self,
+        index: ModuleIndex,
+        info: ModuleInfo,
+        signatures: dict[tuple[str, str], Signature | None],
+    ) -> Iterator[Finding]:
+        findings: list[Finding] = []
+
+        def resolve(func: ast.AST, shadowed: frozenset[str]) -> Signature | None:
+            resolved = resolve_callee(index, info, func, shadowed)
+            if resolved is None:
+                return None
+            target_info, symbol = resolved
+            key = (target_info.name, symbol.name)
+            if key not in signatures:
+                signatures[key] = callee_signature(target_info, symbol)
+            return signatures[key]
+
+        def visit(node: ast.AST, shadowed: frozenset[str]) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                shadowed = shadowed | _local_bindings(node)
+            elif isinstance(node, ast.Lambda):
+                shadowed = shadowed | {a.arg for a in node.args.args}
+            if isinstance(node, ast.Call):
+                signature = resolve(node.func, shadowed)
+                if signature is not None:
+                    findings.extend(self._check_call(info, node, signature))
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = node.value
+                if isinstance(value, ast.Call):
+                    signature = resolve(value.func, shadowed)
+                    if signature is not None:
+                        findings.extend(
+                            self._check_result(info, node, value, signature)
+                        )
+            for child in ast.iter_child_nodes(node):
+                visit(child, shadowed)
+
+        visit(info.source.tree, frozenset())
+        yield from findings
+
+    # -- FLOW001/002: arguments ------------------------------------------
+
+    def _check_call(
+        self, info: ModuleInfo, call: ast.Call, signature: Signature
+    ) -> Iterator[Finding]:
+        bindings: list[tuple[str, ast.AST]] = []
+        for position, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                break
+            if position >= len(signature.params):
+                break
+            bindings.append((signature.params[position], arg))
+        named = set(signature.params) | set(signature.kwonly)
+        for keyword in call.keywords:
+            if keyword.arg is None:  # **kwargs expansion
+                continue
+            if keyword.arg in named:
+                bindings.append((keyword.arg, keyword.value))
+        for param, expr in bindings:
+            expected = parse_unit(param)
+            if expected is None:
+                continue
+            actual = infer_expr_unit(expr)
+            if actual is None:
+                continue
+            where = (
+                f"{signature.kind} {signature.module}.{signature.name}"
+            )
+            if not actual.same_dimension(expected):
+                yield self.finding_at(
+                    info.source.path,
+                    expr.lineno,
+                    expr.col_offset,
+                    "FLOW001",
+                    f"argument {actual.describe()} flows into parameter "
+                    f"'{param}' ({expected.describe()}) of {where}",
+                )
+            elif not actual.same_scale(expected):
+                yield self.finding_at(
+                    info.source.path,
+                    expr.lineno,
+                    expr.col_offset,
+                    "FLOW002",
+                    f"argument [{actual.token}] flows into parameter "
+                    f"'{param}' expecting [{expected.token}] of {where} "
+                    "(convert explicitly)",
+                )
+
+    # -- FLOW003: return assignment --------------------------------------
+
+    def _check_result(
+        self,
+        info: ModuleInfo,
+        assign: ast.Assign | ast.AnnAssign,
+        call: ast.Call,
+        signature: Signature,
+    ) -> Iterator[Finding]:
+        if signature.name_unit is not None:
+            return  # the local unit checker (UNIT004) already covers this
+        returned = _consistent_unit(signature.return_units)
+        if returned is None:
+            return
+        targets = (
+            assign.targets if isinstance(assign, ast.Assign) else [assign.target]
+        )
+        for target in targets:
+            if isinstance(target, ast.Name):
+                expected = parse_unit(target.id)
+            elif isinstance(target, ast.Attribute):
+                expected = parse_unit(target.attr)
+            else:
+                continue
+            if expected is None:
+                continue
+            if not returned.same_dimension(expected) or not returned.same_scale(
+                expected
+            ):
+                yield self.finding_at(
+                    info.source.path,
+                    assign.lineno,
+                    assign.col_offset,
+                    "FLOW003",
+                    f"{signature.module}.{signature.name} returns "
+                    f"{returned.describe()} but the target declares "
+                    f"{expected.describe()}",
+                )
+
+
+def _consistent_unit(units: tuple[Unit, ...]) -> Unit | None:
+    """The single unit all return expressions agree on, else ``None``."""
+    if not units:
+        return None
+    first = units[0]
+    for unit in units[1:]:
+        if not first.same_dimension(unit) or not first.same_scale(unit):
+            return None
+    return first
+
+
+def _local_bindings(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Parameter names + names assigned anywhere inside ``node``."""
+    args = node.args
+    bound = {
+        a.arg
+        for a in (
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+        )
+    }
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Assign):
+            for target in sub.targets:
+                bound.update(_names_in_target(target))
+        elif isinstance(sub, (ast.AnnAssign, ast.AugAssign, ast.For)):
+            target = sub.target
+            bound.update(_names_in_target(target))
+        elif isinstance(sub, (ast.With, ast.AsyncWith)):
+            for item in sub.items:
+                if item.optional_vars is not None:
+                    bound.update(_names_in_target(item.optional_vars))
+    return bound
+
+
+def _names_in_target(target: ast.AST) -> set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: set[str] = set()
+        for elt in target.elts:
+            names.update(_names_in_target(elt))
+        return names
+    if isinstance(target, ast.Starred):
+        return _names_in_target(target.value)
+    return set()

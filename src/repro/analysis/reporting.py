@@ -2,8 +2,10 @@
 
 The text form is the human-facing ``path:line:col CODE message`` listing
 with a per-group summary; the JSON form is a stable machine-readable
-document (``{"version": 1, "files_scanned": N, "findings": [...]}``)
-that round-trips through :meth:`repro.analysis.findings.Finding.from_dict`.
+document versioned by ``schema_version`` (see ``docs/analysis.md`` for
+the pinned shape) that round-trips through
+:meth:`repro.analysis.findings.Finding.from_dict`.  When a baseline is
+in force, both renderers show what it accepted and any stale entries.
 """
 
 from __future__ import annotations
@@ -11,14 +13,21 @@ from __future__ import annotations
 import json
 from collections import Counter
 
+from .baseline import BaselineDelta
 from .findings import Finding
 
-__all__ = ["render_text", "render_json", "JSON_VERSION"]
+__all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
 
-JSON_VERSION = 1
+#: Bumped whenever the JSON document shape changes.  v2 added
+#: ``schema_version``, ``summary`` and the ``baseline`` block.
+JSON_SCHEMA_VERSION = 2
 
 
-def render_text(findings: list[Finding], files_scanned: int) -> str:
+def render_text(
+    findings: list[Finding],
+    files_scanned: int,
+    delta: BaselineDelta | None = None,
+) -> str:
     """Human-readable report: sorted findings plus a summary line."""
     lines = [f.render() for f in sorted(findings)]
     if findings:
@@ -32,16 +41,42 @@ def render_text(findings: list[Finding], files_scanned: int) -> str:
         )
     else:
         lines.append(f"clean: 0 findings in {files_scanned} file(s)")
+    if delta is not None:
+        if delta.accepted:
+            lines.append(f"baseline: {len(delta.accepted)} accepted finding(s)")
+        for path, code, message in delta.stale:
+            lines.append(
+                f"stale baseline entry: {path} {code} {message} "
+                "(fixed? rewrite with --write-baseline)"
+            )
     return "\n".join(lines)
 
 
-def render_json(findings: list[Finding], files_scanned: int) -> str:
+def render_json(
+    findings: list[Finding],
+    files_scanned: int,
+    delta: BaselineDelta | None = None,
+    baseline_path: str | None = None,
+) -> str:
     """Machine-readable report; parse with ``json.loads``."""
-    return json.dumps(
-        {
-            "version": JSON_VERSION,
-            "files_scanned": files_scanned,
-            "findings": [f.to_dict() for f in sorted(findings)],
+    by_group = Counter(f.group for f in sorted(findings))
+    doc = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "files_scanned": files_scanned,
+        "findings": [f.to_dict() for f in sorted(findings)],
+        "summary": {
+            "total": len(findings),
+            "by_group": dict(sorted(by_group.items())),
         },
-        indent=2,
-    )
+        "baseline": None,
+    }
+    if delta is not None:
+        doc["baseline"] = {
+            "path": baseline_path,
+            "accepted": len(delta.accepted),
+            "new": len(delta.new),
+            "stale": [
+                {"path": p, "code": c, "message": m} for p, c, m in delta.stale
+            ],
+        }
+    return json.dumps(doc, indent=2)

@@ -3,29 +3,55 @@
 ``python -m repro.analysis [--json] [paths...]`` runs every checker over
 the given paths (default: ``src``, ``examples`` and ``benchmarks`` under
 the current directory) and exits nonzero when findings survive the
-suppression comments — the same contract the pytest gate and the CI lint
-job rely on.
+suppression comments and the baseline — the same contract the pytest
+gate and the CI lint job rely on.
+
+The run parses each source file exactly once: the per-file checkers and
+the whole-program passes (``arch``/``flow``/``dead``) all share the same
+:class:`~repro.analysis.visitor.SourceFile` list and the
+:class:`~repro.analysis.modgraph.ModuleIndex` built from it.  The test
+suite is additionally indexed as *usage context* so the reachability
+pass sees what tests exercise, without linting the tests themselves.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from . import layers
+from .arch import ArchChecker, layer_violations
+from .baseline import Baseline, BaselineDelta
 from .config_checks import ConfigChecker
+from .dead import DeadChecker
 from .determinism import DeterminismChecker
 from .exports import ExportChecker
-from .findings import Finding
+from .findings import Finding, group_of
+from .flow import FlowChecker
+from .modgraph import ModuleIndex, build_index, render_dot
 from .reporting import render_json, render_text
 from .units import UnitChecker
 from .verification import VerificationChecker
-from .visitor import Checker, collect_sources
+from .visitor import Checker, ProjectChecker, SourceFile, collect_sources
 
-__all__ = ["ALL_CHECKERS", "run_analysis", "default_paths", "main"]
+__all__ = [
+    "ALL_CHECKERS",
+    "PROJECT_CHECKERS",
+    "AnalysisResult",
+    "analyze",
+    "run_analysis",
+    "default_paths",
+    "context_paths",
+    "render_architecture_section",
+    "update_architecture_doc",
+    "write_graph_dot",
+    "main",
+]
 
-#: Every registered checker, in report order.
+#: Every registered per-file checker, in report order.
 ALL_CHECKERS: tuple[Checker, ...] = (
     UnitChecker(),
     DeterminismChecker(),
@@ -34,7 +60,22 @@ ALL_CHECKERS: tuple[Checker, ...] = (
     VerificationChecker(),
 )
 
+#: Whole-program passes; they run over the shared module index.
+PROJECT_CHECKERS: tuple[ProjectChecker, ...] = (
+    ArchChecker(),
+    FlowChecker(),
+    DeadChecker(),
+)
+
+#: The runner's own stale-suppression code (not a checker class: it needs
+#: to see which comments matched after *all* other findings are known).
+SUPPRESSION_CODES = {
+    "SUP001": "suppression comment no longer suppresses any finding",
+}
+
 _DEFAULT_ROOTS = ("src", "examples", "benchmarks")
+_CONTEXT_ROOTS = ("tests",)
+DEFAULT_BASELINE = "analysis-baseline.json"
 
 
 def default_paths(base: str | Path = ".") -> list[Path]:
@@ -49,46 +90,196 @@ def default_paths(base: str | Path = ".") -> list[Path]:
     return found
 
 
-def run_analysis(
+def context_paths(base: str | Path = ".") -> list[Path]:
+    """Usage-only context (the test suite) indexed for reachability."""
+    base = Path(base)
+    return [base / root for root in _CONTEXT_ROOTS if (base / root).is_dir()]
+
+
+@dataclasses.dataclass
+class AnalysisResult:
+    """Everything one analysis run produced."""
+
+    findings: list[Finding]
+    files_scanned: int
+    sources: list[SourceFile]
+    index: ModuleIndex
+
+
+def _known_select_tokens() -> set[str]:
+    known: set[str] = set(SUPPRESSION_CODES) | {"sup"}
+    for checker in (*ALL_CHECKERS, *PROJECT_CHECKERS):
+        known.add(checker.name)
+        known.update(checker.codes)
+    return known
+
+
+def analyze(
     paths: Iterable[str | Path],
     select: Iterable[str] | None = None,
-) -> tuple[list[Finding], int]:
-    """Run the checkers over ``paths``.
+    context: Iterable[str | Path] = (),
+) -> AnalysisResult:
+    """Run every checker over ``paths``, sharing one parse per file.
 
-    ``select`` optionally restricts to checker groups (``unit``/``det``/
-    ``cfg``/``exp``/``ver``) or exact codes (``UNIT002``).  Returns the
-    surviving
-    (non-suppressed) findings and the number of files scanned.
+    ``select`` restricts the *reported* findings to checker groups
+    (``unit``/``arch``/...) or exact codes (``FLOW001``); every checker
+    still runs, so stale-suppression detection stays accurate.
+    ``context`` paths are parsed and indexed for the whole-program passes
+    but are not themselves linted.
     """
     selected = {s.strip() for s in select} if select else None
     if selected:
-        known = {c.name for c in ALL_CHECKERS} | {
-            code for c in ALL_CHECKERS for code in c.codes
-        }
-        unknown = sorted(selected - known)
+        unknown = sorted(selected - _known_select_tokens())
         if unknown:
             raise ValueError(
                 f"unknown --select token(s): {', '.join(unknown)}; "
-                "expected a checker group (unit/det/cfg/exp/ver) or a "
-                "code like UNIT002"
+                "expected a checker group (unit/det/cfg/exp/ver/arch/flow/"
+                "dead/sup) or a code like UNIT002"
             )
     sources = collect_sources(paths)
-    findings: list[Finding] = []
+    # Test *data* is not usage context: planted fixture trees (which
+    # deliberately contain violations and fake ``repro`` packages) must
+    # not keep real exports alive or shadow real modules in the index.
+    context_sources = [
+        source
+        for source in (collect_sources(context) if context else [])
+        if "fixtures" not in Path(source.path).parts
+    ]
+    index = build_index(sources, context_sources)
+
+    raw: list[Finding] = []
     for source in sources:
         for checker in ALL_CHECKERS:
-            if selected is not None and checker.name not in selected:
-                # The checker may still own explicitly selected codes.
-                if not any(code in selected for code in checker.codes):
-                    continue
-            for finding in checker.check(source):
-                if selected is not None and not (
-                    checker.name in selected or finding.code in selected
-                ):
-                    continue
-                if source.is_suppressed(finding):
-                    continue
-                findings.append(finding)
-    return sorted(findings), len(sources)
+            raw.extend(checker.check(source))
+    for project_checker in PROJECT_CHECKERS:
+        raw.extend(project_checker.check_project(index))
+
+    by_path = {source.path: source for source in sources}
+    survivors: list[Finding] = []
+    matched_lines: set[tuple[str, int]] = set()
+    for finding in raw:
+        source = by_path.get(finding.path)
+        if source is not None and source.is_suppressed(finding):
+            matched_lines.add((finding.path, finding.line))
+        else:
+            survivors.append(finding)
+    survivors.extend(_stale_suppressions(sources, matched_lines))
+
+    if selected is not None:
+        survivors = [
+            finding
+            for finding in survivors
+            if finding.code in selected or group_of(finding.code) in selected
+        ]
+    return AnalysisResult(
+        findings=sorted(survivors),
+        files_scanned=len(sources),
+        sources=sources,
+        index=index,
+    )
+
+
+def _stale_suppressions(
+    sources: list[SourceFile], matched_lines: set[tuple[str, int]]
+) -> list[Finding]:
+    """``SUP001`` for every ignore comment that silenced nothing.
+
+    These findings deliberately bypass the normal suppression filter —
+    a bare ``ignore`` would otherwise silence its own staleness report.
+    Acknowledge an intentionally kept comment with an explicit ``sup``
+    token instead.
+    """
+    stale: list[Finding] = []
+    for source in sources:
+        for lineno, tokens in sorted(source.suppressions.items()):
+            if tokens & {"sup", "SUP001"}:
+                continue
+            if (source.path, lineno) in matched_lines:
+                continue
+            rendered = (
+                "" if tokens == {"*"} else f"[{', '.join(sorted(tokens))}]"
+            )
+            stale.append(
+                Finding(
+                    path=source.path,
+                    line=lineno,
+                    col=0,
+                    code="SUP001",
+                    message=f"'# repro-lint: ignore{rendered}' suppresses "
+                    "no finding on this line: remove it",
+                )
+            )
+    return stale
+
+
+def run_analysis(
+    paths: Iterable[str | Path],
+    select: Iterable[str] | None = None,
+    context: Iterable[str | Path] = (),
+) -> tuple[list[Finding], int]:
+    """Back-compat wrapper around :func:`analyze`.
+
+    Returns the surviving (non-suppressed) findings and the number of
+    files scanned.
+    """
+    result = analyze(paths, select=select, context=context)
+    return result.findings, result.files_scanned
+
+
+# -- generated artifacts ---------------------------------------------------
+
+_DIAGRAM_BEGIN = "<!-- BEGIN GENERATED: layer-diagram -->"
+_DIAGRAM_END = "<!-- END GENERATED: layer-diagram -->"
+
+
+def render_architecture_section() -> str:
+    """The generated layer-diagram block for ``docs/architecture.md``."""
+    return (
+        f"{_DIAGRAM_BEGIN}\n"
+        "<!-- regenerate: python -m repro.analysis --write-arch-diagram -->\n"
+        "```text\n"
+        f"{layers.render_layer_diagram()}\n"
+        "```\n"
+        f"{_DIAGRAM_END}"
+    )
+
+
+def update_architecture_doc(path: str | Path) -> bool:
+    """Rewrite the generated diagram section in ``path``.
+
+    Returns True when the file changed.  Raises ``ValueError`` when the
+    markers are missing — the section placement is editorial, only its
+    body is generated.
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    begin = text.find(_DIAGRAM_BEGIN)
+    end = text.find(_DIAGRAM_END)
+    if begin == -1 or end == -1 or end < begin:
+        raise ValueError(
+            f"{path}: missing '{_DIAGRAM_BEGIN}'/'{_DIAGRAM_END}' markers"
+        )
+    updated = (
+        text[:begin] + render_architecture_section() + text[end + len(_DIAGRAM_END):]
+    )
+    if updated == text:
+        return False
+    path.write_text(updated, encoding="utf-8")
+    return True
+
+
+def write_graph_dot(result: AnalysisResult, out: str | Path) -> None:
+    """Export the package-level import graph (layer clusters, red edges)."""
+    dot = render_dot(
+        result.index,
+        [(name, units) for name, units, _ in layers.LAYERS],
+        layers.package_key,
+        violations=layer_violations(result.index),
+    )
+    Path(out).write_text(dot, encoding="utf-8")
+
+
+# -- CLI -------------------------------------------------------------------
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -97,7 +288,8 @@ def _build_parser() -> argparse.ArgumentParser:
         description=(
             "Static analysis for the uSystolic reproduction: unit "
             "consistency, determinism, config invariants, export hygiene, "
-            "verification traceability."
+            "verification traceability, layering contracts, interprocedural "
+            "unit flow and dead-reachability."
         ),
     )
     parser.add_argument(
@@ -114,30 +306,80 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="GROUP_OR_CODE",
         help="restrict to checker groups or codes (repeatable, "
-        "comma-separated): unit,det,cfg,exp,ver or e.g. UNIT002",
+        "comma-separated): unit,det,cfg,exp,ver,arch,flow,dead,sup "
+        "or e.g. UNIT002",
     )
     parser.add_argument(
         "--list-checkers",
         action="store_true",
         help="print every checker and finding code, then exit",
     )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=f"baseline file to ratchet against (default: {DEFAULT_BASELINE} "
+        "when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current findings: rewrite the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--graph-dot",
+        metavar="FILE",
+        default=None,
+        help="also export the package import graph as Graphviz DOT",
+    )
+    parser.add_argument(
+        "--write-arch-diagram",
+        nargs="?",
+        const="docs/architecture.md",
+        default=None,
+        metavar="FILE",
+        help="regenerate the layer diagram section in docs/architecture.md "
+        "(or FILE), then exit",
+    )
     return parser
 
 
 def _list_checkers() -> str:
     lines = []
-    for checker in ALL_CHECKERS:
-        lines.append(f"[{checker.name}] {type(checker).__name__}")
+    for checker in (*ALL_CHECKERS, *PROJECT_CHECKERS):
+        scope = (
+            "project" if isinstance(checker, ProjectChecker) else "per-file"
+        )
+        lines.append(f"[{checker.name}] {type(checker).__name__} ({scope})")
         for code, description in sorted(checker.codes.items()):
             lines.append(f"  {code}  {description}")
+    lines.append("[sup] stale-suppression pass (runner built-in)")
+    for code, description in sorted(SUPPRESSION_CODES.items()):
+        lines.append(f"  {code}  {description}")
     return "\n".join(lines)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry: 0 clean, 1 findings, 2 usage/path errors."""
+    """CLI entry: 0 clean, 1 findings (or stale baseline), 2 errors."""
     args = _build_parser().parse_args(argv)
     if args.list_checkers:
         print(_list_checkers())
+        return 0
+    if args.write_arch_diagram is not None:
+        try:
+            changed = update_architecture_doc(args.write_arch_diagram)
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"repro.analysis: error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"{args.write_arch_diagram}: "
+            + ("updated" if changed else "already up to date")
+        )
         return 0
     select = None
     if args.select:
@@ -146,14 +388,40 @@ def main(argv: Sequence[str] | None = None) -> int:
         ]
     try:
         paths = [Path(p) for p in args.paths] or default_paths()
-        findings, files_scanned = run_analysis(paths, select=select)
+        result = analyze(paths, select=select, context=context_paths())
     except (FileNotFoundError, SyntaxError, ValueError) as exc:
         print(f"repro.analysis: error: {exc}", file=sys.stderr)
         return 2
+    if args.graph_dot:
+        write_graph_dot(result, args.graph_dot)
+        print(f"import graph written to {args.graph_dot}", file=sys.stderr)
+
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        if Path(DEFAULT_BASELINE).is_file():
+            baseline_path = DEFAULT_BASELINE
+    if args.write_baseline:
+        target = baseline_path or DEFAULT_BASELINE
+        Baseline.from_findings(result.findings).save(target)
+        print(
+            f"baseline {target}: accepted {len(result.findings)} finding(s)"
+        )
+        return 0
+
+    delta: BaselineDelta | None = None
+    reported = result.findings
+    if baseline_path is not None and not args.no_baseline:
+        try:
+            delta = Baseline.load(baseline_path).apply(result.findings)
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"repro.analysis: error: {exc}", file=sys.stderr)
+            return 2
+        reported = list(delta.new)
     report = (
-        render_json(findings, files_scanned)
+        render_json(reported, result.files_scanned, delta, baseline_path)
         if args.json
-        else render_text(findings, files_scanned)
+        else render_text(reported, result.files_scanned, delta)
     )
     print(report)
-    return 1 if findings else 0
+    failed = bool(reported) or (delta is not None and not delta.clean)
+    return 1 if failed else 0

@@ -22,13 +22,21 @@ from __future__ import annotations
 import abc
 import ast
 import dataclasses
+import io
 import re
+import tokenize
 from pathlib import Path
 from typing import Iterable, Iterator
 
 from .findings import Finding, group_of
 
-__all__ = ["SourceFile", "Checker", "collect_sources", "iter_python_files"]
+__all__ = [
+    "SourceFile",
+    "Checker",
+    "ProjectChecker",
+    "collect_sources",
+    "iter_python_files",
+]
 
 _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*ignore(?:\[([^\]]*)\])?")
 _SKIP_FILE_RE = re.compile(r"#\s*repro-lint:\s*skip-file")
@@ -56,22 +64,22 @@ class SourceFile:
         if text is None:
             text = Path(path).read_text(encoding="utf-8")
         tree = ast.parse(text, filename=path)
-        lines = text.splitlines()
         suppressions: dict[int, set[str]] = {}
-        for lineno, line in enumerate(lines, start=1):
-            match = _SUPPRESS_RE.search(line)
-            if match is None:
-                continue
-            tokens = match.group(1)
-            if tokens is None:
-                suppressions[lineno] = {"*"}
-            else:
-                suppressions[lineno] = {
-                    t.strip() for t in tokens.split(",") if t.strip()
-                }
-        skip = any(
-            _SKIP_FILE_RE.search(line) for line in lines[:_SKIP_FILE_WINDOW]
-        )
+        skip = False
+        # Only real COMMENT tokens count: a suppression example quoted in
+        # a docstring is documentation, not a suppression.
+        for lineno, comment in _comments(text):
+            match = _SUPPRESS_RE.search(comment)
+            if match is not None:
+                tokens = match.group(1)
+                if tokens is None:
+                    suppressions[lineno] = {"*"}
+                else:
+                    suppressions[lineno] = {
+                        t.strip() for t in tokens.split(",") if t.strip()
+                    }
+            if lineno <= _SKIP_FILE_WINDOW and _SKIP_FILE_RE.search(comment):
+                skip = True
         return cls(
             path=path, text=text, tree=tree, suppressions=suppressions, skip=skip
         )
@@ -109,6 +117,42 @@ class Checker(abc.ABC):
             code=code,
             message=message,
         )
+
+
+def _comments(text: str) -> Iterator[tuple[int, str]]:
+    """Yield ``(lineno, comment_text)`` for every comment token."""
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError):
+        return
+
+
+class ProjectChecker(abc.ABC):
+    """A whole-program lint pass: sees every module at once.
+
+    Unlike :class:`Checker`, which inspects one file in isolation, a
+    project checker receives the :class:`~repro.analysis.modgraph.ModuleIndex`
+    built over the full run — lint targets plus usage-only context (the
+    test suite) — so it can follow imports, calls and reachability across
+    module boundaries.  Findings must still anchor to a lint-target file.
+    """
+
+    #: Suppression-group name; must match a value in ``findings.GROUPS``.
+    name: str
+    #: code -> one-line description, for ``--list-checkers`` and the docs.
+    codes: dict[str, str]
+
+    @abc.abstractmethod
+    def check_project(self, index) -> Iterator[Finding]:
+        """Yield findings over the whole-program module index."""
+
+    def finding_at(
+        self, path: str, line: int, col: int, code: str, message: str
+    ) -> Finding:
+        """Build a finding at an explicit location."""
+        return Finding(path=path, line=line, col=col, code=code, message=message)
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:

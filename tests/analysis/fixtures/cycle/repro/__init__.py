@@ -1,0 +1,1 @@
+"""Root of the planted import-cycle tree."""

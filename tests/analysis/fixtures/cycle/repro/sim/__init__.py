@@ -1,0 +1,1 @@
+"""Package whose two modules import each other at import time."""

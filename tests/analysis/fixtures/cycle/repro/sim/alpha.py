@@ -1,0 +1,10 @@
+"""Half of a two-module import-time cycle."""
+
+from .beta import b
+
+__all__ = ["a"]
+
+
+def a():
+    """Forward to beta."""
+    return b()

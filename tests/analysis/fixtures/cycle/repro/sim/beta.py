@@ -1,0 +1,10 @@
+"""Other half of the cycle (lazy imports would be exempt)."""
+
+from .alpha import a
+
+__all__ = ["b"]
+
+
+def b():
+    """Forward to alpha."""
+    return a()

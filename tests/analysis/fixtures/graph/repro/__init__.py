@@ -1,0 +1,1 @@
+"""Planted mini-tree for the whole-program checkers."""

@@ -1,0 +1,1 @@
+"""ARCH003 bait: a package the layer spec does not declare."""

@@ -1,0 +1,8 @@
+"""DEAD002 bait: no entrypoint, test or module imports this."""
+
+__all__ = ["lonely"]
+
+
+def lonely():
+    """Never reached."""
+    return 42

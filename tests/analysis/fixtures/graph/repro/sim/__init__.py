@@ -1,0 +1,1 @@
+"""Sim-layer package for the planted tree."""

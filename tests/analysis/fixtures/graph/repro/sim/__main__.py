@@ -1,0 +1,15 @@
+"""Entrypoint root: everything it reaches is live."""
+
+from ..unary.bad_import import wrapped
+from .caller import drive, misassign, misscale
+
+__all__ = ["main"]
+
+
+def main():
+    """Exercise the live surface."""
+    return wrapped(drive(1.0)) + misassign(4) + misscale(2.0).area_mm2
+
+
+if __name__ == "__main__":
+    main()

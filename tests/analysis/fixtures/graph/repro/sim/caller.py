@@ -1,0 +1,27 @@
+"""Call sites whose units disagree with the callee's interface."""
+
+from .engine import mac_latency, simulate
+from .params import Tile
+
+__all__ = ["accumulate", "drive", "misassign", "misscale"]
+
+
+def drive(energy_pj):
+    """FLOW001 bait: a pJ quantity flows into a cycles parameter."""
+    return accumulate(energy_pj, 1)
+
+
+def accumulate(total_cycles, step_cycles):
+    """Callee with unit-suffixed parameters."""
+    return simulate(total_cycles + step_cycles)
+
+
+def misassign(bits):
+    """FLOW003 bait: cycles-returning callee assigned to a pJ name."""
+    read_pj = mac_latency(bits)
+    return read_pj
+
+
+def misscale(area_um2):
+    """FLOW002 bait: an um^2 argument into a mm^2 dataclass field."""
+    return Tile(area_mm2=area_um2)

@@ -1,0 +1,19 @@
+"""Callee side of the planted unit-flow mismatch."""
+
+__all__ = ["simulate", "mac_latency", "unreachable_helper"]
+
+
+def simulate(value):
+    """Identity stand-in."""
+    return value
+
+
+def mac_latency(bits):
+    """Returns a cycle count (no unit suffix in the name: FLOW003 bait)."""
+    total_cycles = 2 ** (bits - 1) + 1
+    return total_cycles
+
+
+def unreachable_helper(x):
+    """DEAD001 bait: exported, defined, referenced by nothing anywhere."""
+    return x + 1

@@ -1,0 +1,12 @@
+"""Dataclass constructor target for the scale-mismatch bait."""
+
+import dataclasses
+
+__all__ = ["Tile"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Tile:
+    """One tile's cost record."""
+
+    area_mm2: float = 0.0

@@ -1,0 +1,1 @@
+"""Foundation-layer package with a planted upward import."""

@@ -1,0 +1,10 @@
+"""ARCH001 bait: a foundation module reaching up into the sim layer."""
+
+from ..sim.engine import simulate  # planted layering inversion
+
+__all__ = ["wrapped"]
+
+
+def wrapped(x):
+    """Call through so the import is not also dead."""
+    return simulate(x)

@@ -1,0 +1,7 @@
+"""SUP001 bait: one live suppression, one stale, one acknowledged."""
+
+a_pj = 1.0
+b_cycles = 2.0
+live = a_pj + b_cycles  # repro-lint: ignore[unit]
+clean = 3  # repro-lint: ignore[det]
+kept = 4  # repro-lint: ignore[unit, sup]

@@ -156,6 +156,9 @@ class TestSelect:
 
     def test_whole_fixture_dir(self):
         findings, files_scanned = run_analysis([FIXTURES])
-        assert files_scanned == 7  # 6 fixtures + __init__.py
+        assert files_scanned == 22  # flat fixtures + graph/cycle/sup trees
         groups = {f.group for f in findings}
-        assert groups == {"unit", "det", "cfg", "exp", "ver"}
+        assert groups == {
+            "unit", "det", "cfg", "exp", "ver",
+            "arch", "flow", "dead", "sup",
+        }

@@ -124,9 +124,11 @@ class TestFindingsAndReporters:
     def test_json_report_round_trips(self):
         f = Finding(path="a.py", line=3, col=7, code="EXP001", message="msg")
         doc = json.loads(render_json([f], files_scanned=2))
-        assert doc["version"] == 1
+        assert doc["schema_version"] == 2
         assert doc["files_scanned"] == 2
         assert [Finding.from_dict(d) for d in doc["findings"]] == [f]
+        assert doc["summary"] == {"total": 1, "by_group": {"exp": 1}}
+        assert doc["baseline"] is None
 
     def test_text_report_mentions_counts(self):
         f = Finding(path="a.py", line=1, col=0, code="DET002", message="msg")

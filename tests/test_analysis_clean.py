@@ -10,8 +10,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.analysis import render_json, run_analysis
-from repro.analysis.runner import default_paths
+from repro.analysis import render_json, run_analysis, update_architecture_doc
+from repro.analysis.runner import context_paths, default_paths
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -23,14 +23,32 @@ def test_default_paths_exist():
 
 
 def test_tree_is_lint_clean():
-    findings, files_scanned = run_analysis(default_paths(REPO_ROOT))
+    findings, files_scanned = run_analysis(
+        default_paths(REPO_ROOT), context=context_paths(REPO_ROOT)
+    )
     report = "\n".join(f.render() for f in findings)
     assert not findings, f"repro.analysis found {len(findings)} issue(s):\n{report}"
     assert files_scanned > 100  # the whole tree, not a subset
 
 
 def test_json_report_round_trips_on_full_tree():
-    findings, files_scanned = run_analysis(default_paths(REPO_ROOT))
+    findings, files_scanned = run_analysis(
+        default_paths(REPO_ROOT), context=context_paths(REPO_ROOT)
+    )
     doc = json.loads(render_json(findings, files_scanned))
-    assert doc["version"] == 1
+    assert doc["schema_version"] == 2
     assert doc["findings"] == []
+    assert doc["summary"] == {"total": 0, "by_group": {}}
+
+
+def test_architecture_diagram_in_sync():
+    """docs/architecture.md must match the layer spec in layers.py.
+
+    On drift this test regenerates the section in place (and fails), so
+    a re-run after inspecting the diff goes green.
+    """
+    changed = update_architecture_doc(REPO_ROOT / "docs" / "architecture.md")
+    assert not changed, (
+        "docs/architecture.md layer diagram was stale; it has been "
+        "regenerated — review and commit the update"
+    )
