@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test verify fuzz bench eval all
+.PHONY: lint test verify fuzz bench eval serve all
 
 lint:
 	$(PYTHON) -m repro.analysis --baseline analysis-baseline.json
@@ -20,5 +20,9 @@ bench:
 
 eval:
 	$(PYTHON) -m repro.eval
+
+serve:
+	$(PYTHON) -m repro.serve --workload alexnet --rate 200 \
+		--policy dynamic --slo-ms 50
 
 all: lint test

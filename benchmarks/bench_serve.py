@@ -1,0 +1,48 @@
+"""Request-level serving: binary vs HUB arrays under open-loop load.
+
+The paper evaluates one inference at a time; this benchmark asks the
+deployment question instead — at a given arrival rate, what tail latency
+and energy per request does each design deliver once queueing and
+batching are in the loop?  Unary arrays trade per-request latency for
+bandwidth and energy; under light load the queue hides none of that, and
+under overload the shared dynamic batcher decides who keeps their SLO.
+"""
+
+from conftest import once
+
+from repro.eval.serving import format_serving, run_serving_experiment
+from repro.workloads.presets import EDGE
+
+
+def test_serving_grid(benchmark, emit):
+    def run():
+        return format_serving(
+            run_serving_experiment(
+                EDGE,
+                rates=(10.0, 40.0),
+                horizon_s=0.5,
+                seed=0,
+                slo_s=0.5,
+            )
+        )
+
+    table = once(benchmark, run)
+    emit(table)
+
+
+def test_serving_overload(benchmark, emit):
+    """Past saturation the queue rejects; goodput is what survives."""
+
+    def run():
+        return format_serving(
+            run_serving_experiment(
+                EDGE,
+                rates=(200.0,),
+                horizon_s=0.5,
+                seed=0,
+                slo_s=0.05,
+            )
+        )
+
+    table = once(benchmark, run)
+    emit(table)

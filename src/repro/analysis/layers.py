@@ -70,6 +70,12 @@ LAYERS: tuple[tuple[str, tuple[str, ...], str], ...] = (
         "content-addressed result store, process-pool fan-out, job graphs",
     ),
     (
+        "serving",
+        ("serve",),
+        "request-level serving: arrivals, queueing, batching, SLO metrics "
+        "over the batched cost model",
+    ),
+    (
         "apps",
         ("eval", "system", "verify"),
         "per-figure pipelines, system models, differential verification",

@@ -30,6 +30,12 @@ from .figures import line_chart, log_bar_chart
 from .pareto import DesignPoint, design_space, format_pareto, pareto_frontier
 from .report import format_series, format_table, table1
 from .runall import run_all
+from .serving import (
+    ServingPoint,
+    format_serving,
+    run_serving_experiment,
+    serving_designs,
+)
 from .sweeps import (
     ShapeSweepPoint,
     SramSweepPoint,
@@ -82,6 +88,10 @@ __all__ = [
     "format_scorecard",
     "run_claims",
     "run_all",
+    "ServingPoint",
+    "format_serving",
+    "run_serving_experiment",
+    "serving_designs",
     "ShapeSweepPoint",
     "SramSweepPoint",
     "array_shape_sweep",

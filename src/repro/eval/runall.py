@@ -29,6 +29,7 @@ from .bandwidth import format_figure10, run_bandwidth_experiment
 from .efficiency import format_figure14, headline, run_efficiency_experiment
 from .energy import format_figure13, run_energy_experiment
 from .report import format_series, table1
+from .serving import format_serving, run_serving_experiment
 from .throughput import format_figure12, run_throughput_experiment
 
 __all__ = ["run_all", "main", "cache_summary_line"]
@@ -125,6 +126,18 @@ def run_all(
                 run_efficiency_experiment(EDGE, "mlperf"),
                 run_efficiency_experiment(CLOUD, "mlperf"),
             ]
+        ),
+        log=log,
+    )
+    _timed(
+        out,
+        "Serving: binary vs HUB under load",
+        lambda: format_serving(
+            run_serving_experiment(
+                EDGE,
+                horizon_s=0.5 if fast else 1.0,
+                workers=get_runner().workers,
+            )
         ),
         log=log,
     )

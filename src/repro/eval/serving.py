@@ -1,0 +1,201 @@
+"""Serving comparison: binary vs HUB coding behind a request queue.
+
+The paper's Table II trade — unary MACs cost :math:`2^{n-1}+1` cycles but
+strip the weight bandwidth — only becomes a *system* statement under
+load.  This experiment puts the same seeded Poisson stream of AlexNet
+requests in front of the binary-parallel array and the HUB rate/temporal
+unary arrays, on the same platform, at several arrival rates, and reads
+off what a serving operator would: p99 latency and energy per request,
+side by side, plus SLO attainment and goodput.
+
+Each (design, rate) cell is an independent serving simulation, so the
+grid fans out across worker processes via the generic
+:func:`repro.jobs.pool.run_tasks` map — the worker is a module-level
+picklable function, per the pool's contract.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..jobs.pool import run_tasks
+from ..schemes import ComputeScheme
+from ..serve.arrivals import poisson_arrivals
+from ..serve.batching import make_batcher
+from ..serve.costs import NetworkCostModel
+from ..serve.executor import ServeExecutor
+from ..serve.queueing import make_queue
+from ..serve.residency import ResidencyTracker
+from ..workloads.alexnet import alexnet_layers
+from ..workloads.presets import EDGE, Platform
+from .report import format_table
+
+__all__ = [
+    "ServingPoint",
+    "serve_design",
+    "serving_designs",
+    "run_serving_experiment",
+    "format_serving",
+]
+
+#: The default load points, req/s: uncongested / knee / overload (edge).
+DEFAULT_RATES = (10.0, 40.0, 200.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class ServingPoint:
+    """One design served at one arrival rate: the summary statistics."""
+
+    design: str
+    scheme: ComputeScheme
+    ebt: int | None
+    rate_per_s: float
+    summary: dict[str, float]
+
+    @property
+    def p99_latency_s(self) -> float:
+        return self.summary["p99_latency_s"]
+
+    @property
+    def energy_per_request_j(self) -> float:
+        return self.summary["energy_per_request_j"]
+
+
+def serving_designs() -> list[tuple[str, ComputeScheme, int | None]]:
+    """Binary baseline vs the two HUB unary codings."""
+    return [
+        ("Binary Parallel", ComputeScheme.BINARY_PARALLEL, None),
+        ("HUB Rate-32c", ComputeScheme.USYSTOLIC_RATE, 6),
+        ("HUB Temporal", ComputeScheme.USYSTOLIC_TEMPORAL, None),
+    ]
+
+
+@dataclasses.dataclass(frozen=True)
+class _ServingTask:
+    """One picklable (design, rate) cell of the serving grid."""
+
+    design: str
+    scheme: ComputeScheme
+    ebt: int | None
+    platform: Platform
+    bits: int
+    rate_per_s: float
+    horizon_s: float
+    seed: int
+    slo_s: float
+    max_batch: int
+    max_wait_s: float
+
+
+def serve_design(task: _ServingTask) -> ServingPoint:
+    """Worker: serve one seeded stream on one design (module-level, picklable)."""
+    array = task.platform.array(task.scheme, bits=task.bits, ebt=task.ebt)
+    memory = task.platform.memory_for(task.scheme)
+    model = NetworkCostModel(
+        name="alexnet",
+        layers=alexnet_layers(),
+        array=array,
+        memory=memory,
+    )
+    arrivals = poisson_arrivals(
+        "alexnet",
+        rate_per_s=task.rate_per_s,
+        horizon_s=task.horizon_s,
+        seed=task.seed,
+        slo_s=task.slo_s,
+    )
+    weight_buffer_bytes = (
+        memory.sram_bytes_per_variable if memory.has_sram else 0
+    )
+    executor = ServeExecutor(
+        models={"alexnet": model},
+        queue=make_queue("fifo", 256),
+        batcher=make_batcher(
+            "dynamic", task.max_batch, max_wait_s=task.max_wait_s
+        ),
+        slo_s=task.slo_s,
+        residency=ResidencyTracker(weight_buffer_bytes),
+    )
+    metrics = executor.run(arrivals)
+    return ServingPoint(
+        design=task.design,
+        scheme=task.scheme,
+        ebt=task.ebt,
+        rate_per_s=task.rate_per_s,
+        summary=metrics.summary(),
+    )
+
+
+def run_serving_experiment(
+    platform: Platform = EDGE,
+    rates: tuple[float, ...] = DEFAULT_RATES,
+    bits: int = 8,
+    horizon_s: float = 1.0,
+    seed: int = 0,
+    slo_s: float = 0.5,
+    max_batch: int = 8,
+    max_wait_s: float = 5e-3,
+    workers: int = 1,
+) -> list[ServingPoint]:
+    """The full (design x rate) serving grid, one stream per rate."""
+    tasks = [
+        _ServingTask(
+            design=design,
+            scheme=scheme,
+            ebt=ebt,
+            platform=platform,
+            bits=bits,
+            rate_per_s=rate,
+            horizon_s=horizon_s,
+            seed=seed,
+            slo_s=slo_s,
+            max_batch=max_batch,
+            max_wait_s=max_wait_s,
+        )
+        for design, scheme, ebt in serving_designs()
+        for rate in rates
+    ]
+    return run_tasks(serve_design, tasks, workers=workers)
+
+
+def format_serving(results: list[ServingPoint]) -> str:
+    """Designs x rates: the p99-latency / energy-per-request trade."""
+    if not results:
+        return ""
+    headers = [
+        "design",
+        "rate/s",
+        "done",
+        "shed",
+        "p50 ms",
+        "p99 ms",
+        "SLO %",
+        "goodput/s",
+        "mJ/req",
+        "util %",
+    ]
+    rows = []
+    for p in results:
+        s = p.summary
+        rows.append(
+            [
+                p.design,
+                f"{p.rate_per_s:g}",
+                f"{s['completed']:.0f}",
+                f"{s['rejected'] + s['dropped']:.0f}",
+                f"{s['p50_latency_s'] * 1e3:.2f}",
+                f"{s['p99_latency_s'] * 1e3:.2f}",
+                f"{100 * s['slo_attainment']:.1f}",
+                f"{s['goodput_per_s']:.1f}",
+                f"{s['energy_per_request_j'] * 1e3:.3f}",
+                f"{100 * s['utilization']:.1f}",
+            ]
+        )
+    return format_table(
+        headers,
+        rows,
+        title=(
+            "Serving: binary vs HUB coding, seeded Poisson AlexNet stream "
+            "(p99 latency and energy/request side by side)"
+        ),
+    )

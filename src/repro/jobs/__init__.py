@@ -11,6 +11,7 @@ in-process, persists results in a content-addressed on-disk store
 
 from .keys import (
     SCHEMA_VERSION,
+    batched_simulation_key,
     canonical,
     canonical_json,
     fingerprint,
@@ -40,6 +41,7 @@ from .store import ResultStore, StoreStats
 
 __all__ = [
     "SCHEMA_VERSION",
+    "batched_simulation_key",
     "canonical",
     "canonical_json",
     "fingerprint",

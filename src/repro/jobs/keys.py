@@ -26,6 +26,7 @@ from ..hw.gates import TechNode
 
 __all__ = [
     "SCHEMA_VERSION",
+    "batched_simulation_key",
     "canonical",
     "canonical_json",
     "fingerprint",
@@ -115,6 +116,26 @@ def simulation_key(params, array, memory, tech) -> str:
     """The content key of one ``simulate_layer(params, array, memory, tech)``."""
     return fingerprint(
         "simulate_layer", params=params, array=array, memory=memory, tech=tech
+    )
+
+
+def batched_simulation_key(
+    params, array, memory, tech, batch: int, warm_weights: bool
+) -> str:
+    """The content key of one ``simulate_layer_batched`` call.
+
+    Batch size and weight residency are part of the result's identity, so
+    serving sweeps that revisit the same (layer, batch, warmth) triple
+    hit the store instead of re-deriving the closed forms.
+    """
+    return fingerprint(
+        "simulate_layer_batched",
+        params=params,
+        array=array,
+        memory=memory,
+        tech=tech,
+        batch=batch,
+        warm_weights=warm_weights,
     )
 
 

@@ -1,0 +1,125 @@
+"""Batched network cost model, memoised through the jobs result store.
+
+The serving executor charges each dispatched batch the full-network cost
+at that batch size: per layer, the closed-form batched simulation
+(:func:`repro.sim.simulate_layer_batched`), summed over the network.
+Every (layer, batch, warmth) triple is resolved in two tiers — an
+in-process memo, then the content-addressed
+:class:`~repro.jobs.store.ResultStore` — so a serving run that dispatches
+thousands of batches pays for each distinct batch size once, and a
+*second* run (or a sweep sibling in another process) pays nothing at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.config import ArrayConfig
+from ..gemm.params import GemmParams
+from ..hw.gates import TECH_32NM, TechNode
+from ..jobs.keys import batched_simulation_key
+from ..jobs.store import ResultStore
+from ..memory.hierarchy import MemoryConfig
+from ..sim.engine import simulate_layer_batched
+from ..sim.results import LayerResult
+
+__all__ = ["ServiceCost", "NetworkCostModel"]
+
+_BATCH_KIND = "simulate_layer_batched"
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceCost:
+    """What one batch execution of a whole network costs."""
+
+    runtime_s: float
+    energy_j: float
+    batch: int
+
+    @property
+    def power_w(self) -> float:
+        """Average power over the execution."""
+        if self.runtime_s == 0:
+            return 0.0
+        return self.energy_j / self.runtime_s
+
+    @property
+    def energy_per_request_j(self) -> float:
+        """The batch's energy amortized over its requests."""
+        return self.energy_j / self.batch
+
+
+class NetworkCostModel:
+    """Per-batch serving cost of one network on one array configuration."""
+
+    def __init__(
+        self,
+        name: str,
+        layers: list[GemmParams],
+        array: ArrayConfig,
+        memory: MemoryConfig,
+        tech: TechNode = TECH_32NM,
+        store: ResultStore | None = None,
+    ) -> None:
+        if not layers:
+            raise ValueError(f"network {name!r} has no layers")
+        self.name = name
+        self.layers = list(layers)
+        self.array = array
+        self.memory = memory
+        self.tech = tech
+        self.store = store
+        self._memo: dict[tuple[int, int, bool], LayerResult] = {}
+
+    @property
+    def weight_footprint_bytes(self) -> int:
+        """Total weight working set (the residency tracker's admit size)."""
+        return sum(layer.weight_bytes(self.array.bits) for layer in self.layers)
+
+    def layer_result(
+        self, index: int, batch: int, warm_weights: bool = False
+    ) -> LayerResult:
+        """Memo/store-resolved batched result of one layer."""
+        memo_key = (index, batch, warm_weights)
+        if memo_key in self._memo:
+            return self._memo[memo_key]
+        layer = self.layers[index]
+        result: LayerResult | None = None
+        key = ""
+        if self.store is not None:
+            key = batched_simulation_key(
+                layer, self.array, self.memory, self.tech, batch, warm_weights
+            )
+            payload = self.store.get(key, _BATCH_KIND)
+            if payload is not None:
+                try:
+                    result = LayerResult.from_json(payload)
+                except (KeyError, TypeError):
+                    # Stale/foreign payload shape: recompute and overwrite.
+                    self.store.stats.corrupt += 1
+                    result = None
+        if result is None:
+            result = simulate_layer_batched(
+                layer,
+                self.array,
+                self.memory,
+                batch=batch,
+                tech=self.tech,
+                warm_weights=warm_weights,
+            )
+            if self.store is not None:
+                self.store.put(key, _BATCH_KIND, result.to_json())
+        self._memo[memo_key] = result
+        return result
+
+    def batch_cost(self, batch: int, warm_weights: bool = False) -> ServiceCost:
+        """Cost of serving one batch of ``batch`` requests end to end."""
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        runtime_s = 0.0
+        energy_j = 0.0
+        for index in range(len(self.layers)):
+            result = self.layer_result(index, batch, warm_weights)
+            runtime_s += result.runtime_s
+            energy_j += result.energy.total
+        return ServiceCost(runtime_s=runtime_s, energy_j=energy_j, batch=batch)

@@ -1,0 +1,187 @@
+"""Deterministic discrete-event serving executor.
+
+One weight-stationary array serves an open-loop request stream: requests
+arrive (seeded generators in :mod:`repro.serve.arrivals`), wait in a
+bounded queue, get folded into batches by a policy, and each dispatched
+batch occupies the array for the batched network cost
+(:class:`~repro.serve.costs.NetworkCostModel`).  Three event sources —
+next arrival, batch completion, batching-window expiry — drive simulated
+time; ties process completion → expiry → arrivals → dispatch, with all
+remaining order fixed by ``(time, req_id)``, so a run is a pure function
+of its inputs and two same-seed runs emit byte-identical ledgers.
+
+Platform power is modelled two ways:
+
+- a **power cap** throttles any batch whose average power would exceed it
+  (the run stretches to ``energy / cap``, energy unchanged) — the HUB
+  temporal coding trade from the paper, where cheaper toggles buy longer
+  cycles;
+- a duck-typed **battery** (anything with
+  ``draw(energy_j, elapsed_s) -> bool``, e.g.
+  :class:`repro.system.battery.Battery`) is debited per dispatch; when a
+  draw fails the server halts, in-flight and queued requests drop, and
+  later arrivals are rejected.
+
+Weight residency is delegated to
+:class:`~repro.serve.residency.ResidencyTracker`: a batch whose network's
+weights are already resident runs with ``warm_weights=True`` and skips
+the DRAM weight fill, so interleaving two networks pays fills per switch
+while a single-network stream pays once.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .batching import BatchPolicy
+from .costs import NetworkCostModel
+from .metrics import ServeMetrics
+from .queueing import BoundedQueue
+from .requests import Request
+from .residency import ResidencyTracker
+
+__all__ = ["ServeExecutor"]
+
+
+class ServeExecutor:
+    """Event-driven serving loop over one array and one request queue."""
+
+    def __init__(
+        self,
+        models: dict[str, NetworkCostModel],
+        queue: BoundedQueue,
+        batcher: BatchPolicy,
+        slo_s: float | None = None,
+        power_cap_w: float | None = None,
+        battery: object | None = None,
+        residency: ResidencyTracker | None = None,
+    ) -> None:
+        if not models:
+            raise ValueError("need at least one workload cost model")
+        if power_cap_w is not None and power_cap_w <= 0:
+            raise ValueError(f"power_cap_w must be positive, got {power_cap_w}")
+        self.models = dict(models)
+        self.queue = queue
+        self.batcher = batcher
+        self.slo_s = slo_s
+        self.power_cap_w = power_cap_w
+        self.battery = battery
+        self.residency = residency
+        self.throttled_batches = 0
+        self._in_service: list[Request] = []
+        self._service_done_s = math.inf
+        self._service_energy_j = 0.0
+        self._halted = False
+
+    def run(self, arrivals: list[Request]) -> ServeMetrics:
+        """Serve ``arrivals`` to exhaustion and return the metrics ledger."""
+        for request in arrivals:
+            if request.workload not in self.models:
+                raise ValueError(
+                    f"request {request.req_id} wants workload "
+                    f"{request.workload!r} but no cost model is registered "
+                    f"(have {sorted(self.models)})"
+                )
+        pending = sorted(arrivals, key=lambda r: (r.arrival_s, r.req_id))
+        metrics = ServeMetrics(slo_s=self.slo_s)
+        now_s = 0.0
+        i = 0
+
+        while True:
+            next_arrival_s = (
+                pending[i].arrival_s if i < len(pending) else math.inf
+            )
+            candidates = [next_arrival_s, self._service_done_s]
+            if not self._in_service and not self._halted and self.queue.depth:
+                wake_s = self.batcher.next_wake_s(self.queue, now_s)
+                if wake_s is not None and wake_s > now_s:
+                    candidates.append(wake_s)
+            event_s = min(candidates)
+
+            if event_s == math.inf:
+                # No arrivals, no service, no wake.  Anything still queued
+                # can only leave via a draining flush.
+                if (
+                    self.queue.depth
+                    and not self._halted
+                    and self._dispatch(now_s, metrics, draining=True)
+                ):
+                    continue
+                break
+
+            now_s = max(now_s, event_s)
+            if self._service_done_s <= now_s:
+                self._complete(now_s, metrics)
+            for request in self.queue.expire(now_s):
+                metrics.observe_drop(request, now_s)
+            while i < len(pending) and pending[i].arrival_s <= now_s:
+                self._admit(pending[i], now_s, metrics)
+                i += 1
+            if self._halted and self.queue.depth:
+                for request in self.queue.take(self.queue.depth):
+                    metrics.observe_drop(request, now_s)
+            if not self._in_service and not self._halted:
+                self._dispatch(now_s, metrics, draining=i >= len(pending))
+            metrics.assert_conserved(self.queue.depth, len(self._in_service))
+
+        # A policy that refuses to drain strands its queue; account for it.
+        if self.queue.depth:
+            for request in self.queue.take(self.queue.depth):
+                metrics.observe_drop(request, now_s)
+        metrics.finalize(now_s)
+        metrics.assert_conserved(self.queue.depth, len(self._in_service))
+        return metrics
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _admit(
+        self, request: Request, now_s: float, metrics: ServeMetrics
+    ) -> None:
+        if self._halted or not self.queue.push(request):
+            metrics.observe_reject(request, now_s)
+            return
+        metrics.observe_admit(request, now_s)
+
+    def _dispatch(
+        self, now_s: float, metrics: ServeMetrics, draining: bool
+    ) -> bool:
+        """Ask the policy for a batch and start serving it; ``True`` if started."""
+        batch = self.batcher.next_batch(self.queue, now_s, draining)
+        if not batch:
+            return False
+        model = self.models[batch[0].workload]
+        warm = (
+            self.residency.admit(model.name, model.weight_footprint_bytes)
+            if self.residency is not None
+            else False
+        )
+        cost = model.batch_cost(len(batch), warm_weights=warm)
+        service_s = cost.runtime_s
+        if self.power_cap_w is not None and cost.power_w > self.power_cap_w:
+            # Throttle: same energy, stretched over the capped power level.
+            service_s = cost.energy_j / self.power_cap_w
+            self.throttled_batches += 1
+        if self.battery is not None and not self.battery.draw(
+            cost.energy_j, service_s
+        ):
+            for request in batch:
+                metrics.observe_drop(request, now_s)
+            self._halted = True
+            return False
+        metrics.observe_dispatch(len(batch), service_s, now_s)
+        self._in_service = batch
+        self._service_done_s = now_s + service_s
+        self._service_energy_j = cost.energy_j
+        return True
+
+    def _complete(self, now_s: float, metrics: ServeMetrics) -> None:
+        batch_size = len(self._in_service)
+        energy_share_j = self._service_energy_j / batch_size
+        for request in self._in_service:
+            metrics.observe_complete(
+                request, self._service_done_s, batch_size, energy_share_j
+            )
+        self._in_service = []
+        self._service_done_s = math.inf
+        self._service_energy_j = 0.0

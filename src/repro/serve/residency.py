@@ -1,0 +1,77 @@
+"""SRAM tile-residency bookkeeping shared by serving and system models.
+
+The traffic model charges every layer execution a full weight fill from
+DRAM.  That is correct for a one-shot simulation, but a *serving* system
+re-runs the same network back to back: if the weight working set fits in
+the SRAM, the second run's fill is free — charging it again double-counts
+the SRAM fill.  Conversely, interleaving two networks evicts each other's
+working set, and every switch really does pay the fill again.
+
+:class:`ResidencyTracker` is that bookkeeping, factored out of the
+implicit one-resident-workload assumption in ``repro.system.controller``
+and ``repro.system.tiled`` so the serving executor can interleave
+networks: one resident working set per tracker (the double-buffered
+global buffer holds one network's weights), warm/cold decided per
+execution, eviction counted per switch.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ResidencyTracker"]
+
+
+class ResidencyTracker:
+    """Tracks which working set currently occupies an SRAM of given size.
+
+    ``admit(key, footprint_bytes)`` returns ``True`` (*warm* — the fill
+    can be skipped) when ``key``'s working set is already resident, and
+    ``False`` (*cold* — charge the full fill) otherwise, making ``key``
+    the new resident if it fits.  A working set larger than the capacity
+    can never become resident, so it is cold on every execution — and it
+    does **not** evict the current resident (a streaming working set
+    bypasses the buffer rather than thrashing it).
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError(
+                f"capacity_bytes must be >= 0, got {capacity_bytes}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self.resident: str | None = None
+        self._resident_bytes = 0
+        self.warm_hits = 0
+        self.cold_fills = 0
+        self.evictions = 0
+
+    def admit(self, key: str, footprint_bytes: int) -> bool:
+        """``True`` if ``key`` is warm (resident); else make it resident."""
+        if footprint_bytes < 0:
+            raise ValueError(
+                f"footprint_bytes must be >= 0, got {footprint_bytes}"
+            )
+        if self.resident == key and footprint_bytes <= self._resident_bytes:
+            self.warm_hits += 1
+            return True
+        self.cold_fills += 1
+        if footprint_bytes <= self.capacity_bytes:
+            if self.resident is not None and self.resident != key:
+                self.evictions += 1
+            self.resident = key
+            self._resident_bytes = footprint_bytes
+        return False
+
+    def flush(self) -> None:
+        """Forget the resident working set (power gate, context clear)."""
+        if self.resident is not None:
+            self.evictions += 1
+        self.resident = None
+        self._resident_bytes = 0
+
+    def counters(self) -> dict[str, int]:
+        """Warm/cold/eviction counters for ledgers and tests."""
+        return {
+            "warm_hits": self.warm_hits,
+            "cold_fills": self.cold_fills,
+            "evictions": self.evictions,
+        }

@@ -1,11 +1,22 @@
 """uSystolic-Sim: weight-stationary cycle/traffic simulator with contention."""
 
+from .batch import batched_matmul_params, batched_schedule
 from .cyclesim import CycleAccurateResult, simulate_fold
 from .dataflow import LayerSchedule, TileSchedule, schedule_layer, schedule_tile
-from .engine import simulate_layer, simulate_network
+from .engine import (
+    simulate_layer,
+    simulate_layer_batched,
+    simulate_network,
+    simulate_network_batched,
+)
 from .results import EnergyLedger, LayerResult, aggregate_results
 from .tracegen import TraceEvent, bandwidth_histogram, generate_trace, trace_totals
-from .traffic import TrafficProfile, VariableTraffic, profile_traffic
+from .traffic import (
+    TrafficProfile,
+    VariableTraffic,
+    profile_traffic,
+    profile_traffic_batched,
+)
 
 __all__ = [
     "CycleAccurateResult",
@@ -16,14 +27,19 @@ __all__ = [
     "trace_totals",
     "LayerSchedule",
     "TileSchedule",
+    "batched_matmul_params",
+    "batched_schedule",
     "schedule_layer",
     "schedule_tile",
     "simulate_layer",
+    "simulate_layer_batched",
     "simulate_network",
+    "simulate_network_batched",
     "EnergyLedger",
     "LayerResult",
     "aggregate_results",
     "TrafficProfile",
     "VariableTraffic",
     "profile_traffic",
+    "profile_traffic_batched",
 ]

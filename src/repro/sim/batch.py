@@ -1,0 +1,87 @@
+"""Batched-N fast path: closed-form schedules for request batching.
+
+Inference serving folds concurrent requests into the GEMM ``N`` dimension:
+a batch of B requests streams ``B * OH * OW`` input vectors through the
+same preloaded weights, so only the streaming phase scales with B — the
+per-fold weight preloads and the final drain are paid once per layer
+execution regardless of batch size.
+
+:func:`batched_schedule` computes that schedule in closed form (the same
+fold algebra ``repro.verify.oracles.compute_cycles_oracle`` derives
+independently) instead of iterating the ``k_folds * c_folds`` tile list B
+times::
+
+    preloads = cf*K + kf*OC - kf*cf          (edge tiles sum exactly to K/OC)
+    streams  = kf*cf * (B*V) * mac_cycles    (the only B-dependent term)
+    drain    = (K - (kf-1)*rows) + (OC - (cf-1)*cols) - 2
+
+At ``batch=1`` the result is pinned equal to
+:func:`repro.sim.dataflow.schedule_layer` by a differential test, and for
+matrix-multiplication layers a batch-B schedule is pinned equal to the
+per-tile path on an explicitly batched ``GemmParams`` — the fast path can
+never drift from the reference without a test failing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..gemm.params import GemmParams
+from .dataflow import LayerSchedule
+
+__all__ = ["batched_schedule", "batched_matmul_params"]
+
+
+def batched_schedule(
+    params: GemmParams,
+    rows: int,
+    cols: int,
+    mac_cycles: int,
+    batch: int = 1,
+) -> LayerSchedule:
+    """Closed-form weight-stationary schedule of ``batch`` folded requests.
+
+    Equivalent to :func:`repro.sim.dataflow.schedule_layer` over a tiling
+    whose per-tile vector count is ``batch * OH * OW``, computed without
+    materialising or iterating the tile list.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("array dimensions must be positive")
+    if mac_cycles < 1:
+        raise ValueError(f"mac_cycles must be >= 1, got {mac_cycles}")
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    k = params.window
+    oc = params.oc
+    vectors = batch * params.oh * params.ow
+    kf = math.ceil(k / rows)
+    cf = math.ceil(oc / cols)
+    preload_cycles = cf * k + kf * oc - kf * cf
+    stream_cycles = kf * cf * vectors * mac_cycles
+    drain_cycles = (k - (kf - 1) * rows) + (oc - (cf - 1) * cols) - 2
+    return LayerSchedule(
+        compute_cycles=preload_cycles + stream_cycles + drain_cycles,
+        active_pe_mac_cycles=k * oc * vectors * mac_cycles,
+        num_tiles=kf * cf,
+        mac_cycles=mac_cycles,
+    )
+
+
+def batched_matmul_params(params: GemmParams, batch: int) -> GemmParams:
+    """The explicit batch-B ``GemmParams`` of a matrix-multiplication layer.
+
+    Folds ``batch`` request rows into the output-row dimension (``IH``),
+    exactly as ``GemmParams.matmul`` folds its ``rows`` argument.  Only
+    valid for multiplication-shaped layers (``IC = WH = 1``, stride 1);
+    used by the differential tests to compare the closed-form batched
+    path against the per-tile reference on a real ``GemmParams``.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    if params.ic != 1 or params.wh != 1 or params.stride != 1 or params.ow != 1:
+        raise ValueError(
+            f"layer {params.name!r} is not multiplication-shaped; "
+            "its batch cannot be expressed as a GemmParams"
+        )
+    return dataclasses.replace(params, ih=params.ih * batch)

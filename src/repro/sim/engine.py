@@ -25,11 +25,17 @@ from ..gemm.tiling import tile_gemm
 from ..hw.array_cost import array_cost
 from ..hw.gates import TECH_32NM, TechNode
 from ..memory.hierarchy import VARIABLES, MemoryConfig
-from .dataflow import schedule_layer
+from .batch import batched_schedule
+from .dataflow import LayerSchedule, schedule_layer
 from .results import EnergyLedger, LayerResult
-from .traffic import profile_traffic
+from .traffic import TrafficProfile, profile_traffic, profile_traffic_batched
 
-__all__ = ["simulate_layer", "simulate_network"]
+__all__ = [
+    "simulate_layer",
+    "simulate_layer_batched",
+    "simulate_network",
+    "simulate_network_batched",
+]
 
 # Streaming DRAM accesses mostly hit the open page; partial-sum round trips
 # alternate read/write and mostly miss.
@@ -52,7 +58,64 @@ def simulate_layer(
     tiling = tile_gemm(params, array.rows, array.cols)
     sched = schedule_layer(tiling, array.mac_cycles)
     traffic = profile_traffic(params, tiling, array.bits, memory)
+    return _finalize(
+        params, array, memory, tech, sched, traffic,
+        macs=params.macs, utilization=tiling.utilization,
+    )
 
+
+def simulate_layer_batched(
+    params: GemmParams,
+    array: ArrayConfig,
+    memory: MemoryConfig,
+    batch: int = 1,
+    tech: TechNode = TECH_32NM,
+    warm_weights: bool = False,
+) -> LayerResult:
+    """Simulate ``batch`` requests of one layer folded into the N dimension.
+
+    The fast path inference serving batches through: the schedule comes
+    from the closed-form fold algebra (:func:`repro.sim.batch.batched_schedule`)
+    instead of iterating the tile list, and only the activation streams
+    scale with the batch — the weight stream is shared.  ``warm_weights``
+    additionally skips the weight DRAM fill when a residency tracker says
+    the working set is still in SRAM (see :mod:`repro.serve.residency`).
+
+    Differential tests pin ``batch=1, warm_weights=False`` byte-identical
+    to :func:`simulate_layer`.
+    """
+    params.validate()
+    array.validate()
+    memory.validate()
+    tiling = tile_gemm(params, array.rows, array.cols)
+    sched = batched_schedule(
+        params, array.rows, array.cols, array.mac_cycles, batch=batch
+    )
+    traffic = profile_traffic_batched(
+        params, tiling, array.bits, memory, batch=batch, warm_weights=warm_weights
+    )
+    return _finalize(
+        params, array, memory, tech, sched, traffic,
+        macs=batch * params.macs, utilization=tiling.utilization,
+    )
+
+
+def _finalize(
+    params: GemmParams,
+    array: ArrayConfig,
+    memory: MemoryConfig,
+    tech: TechNode,
+    sched: LayerSchedule,
+    traffic: TrafficProfile,
+    macs: int,
+    utilization: float,
+) -> LayerResult:
+    """Assemble a :class:`LayerResult` from a schedule and a traffic profile.
+
+    The contention model and energy ledger shared by the per-tile and the
+    closed-form batched paths — one body, so the two can never disagree
+    about runtime or energy accounting.
+    """
     # --- runtime with contention ---------------------------------------
     dram_rate = memory.dram.effective_bandwidth_bytes_per_s / tech.frequency_hz
     dram_cycles = traffic.dram_total / dram_rate
@@ -89,11 +152,11 @@ def simulate_layer(
     return LayerResult(
         layer=params.name,
         config_label=array.label + ("" if memory.has_sram else "-noSRAM"),
-        macs=params.macs,
+        macs=macs,
         compute_cycles=sched.compute_cycles,
         total_cycles=total_cycles,
         runtime_s=runtime_s,
-        utilization=tiling.utilization,
+        utilization=utilization,
         traffic=traffic,
         energy=energy,
     )
@@ -107,3 +170,20 @@ def simulate_network(
 ) -> list[LayerResult]:
     """Simulate every layer of a network under one configuration."""
     return [simulate_layer(layer, array, memory, tech=tech) for layer in layers]
+
+
+def simulate_network_batched(
+    layers: list[GemmParams],
+    array: ArrayConfig,
+    memory: MemoryConfig,
+    batch: int = 1,
+    tech: TechNode = TECH_32NM,
+    warm_weights: bool = False,
+) -> list[LayerResult]:
+    """Simulate every layer at batch ``batch`` (see :func:`simulate_layer_batched`)."""
+    return [
+        simulate_layer_batched(
+            layer, array, memory, batch=batch, tech=tech, warm_weights=warm_weights
+        )
+        for layer in layers
+    ]

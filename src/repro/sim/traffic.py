@@ -22,7 +22,12 @@ from ..gemm.params import GemmParams
 from ..gemm.tiling import Tiling
 from ..memory.hierarchy import MemoryConfig
 
-__all__ = ["VariableTraffic", "TrafficProfile", "profile_traffic"]
+__all__ = [
+    "VariableTraffic",
+    "TrafficProfile",
+    "profile_traffic",
+    "profile_traffic_batched",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -117,10 +122,38 @@ def profile_traffic(
     memory: MemoryConfig,
 ) -> TrafficProfile:
     """Profile the traffic of ``params`` scheduled as ``tiling``."""
+    return profile_traffic_batched(params, tiling, bits, memory, batch=1)
+
+
+def profile_traffic_batched(
+    params: GemmParams,
+    tiling: Tiling,
+    bits: int,
+    memory: MemoryConfig,
+    batch: int = 1,
+    warm_weights: bool = False,
+) -> TrafficProfile:
+    """Traffic of ``batch`` requests folded into the ``N`` dimension.
+
+    Every per-request stream (IFM, OFM, partial sums) scales linearly
+    with the batch — each request brings its own activations — while the
+    weight stream is paid **once** per layer execution: the batch shares
+    the preloaded weights, which is the entire bandwidth argument for
+    batching.  The IFM-fits-in-SRAM cap is evaluated against the whole
+    batch's footprint, since all B activation sets must be live at once.
+
+    ``warm_weights=True`` models a weight working set already resident in
+    the SRAM from the previous execution (see ``repro.serve.residency``):
+    the weight DRAM fill and its SRAM fill-write are skipped; the array
+    still reads the weights out of SRAM.  Without an SRAM there is
+    nowhere for weights to stay resident, so the flag is a no-op.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
     elem = (bits + 7) // 8
-    vectors = params.oh * params.ow
+    vectors = batch * params.oh * params.ow
     window = params.window
-    outputs = params.num_outputs
+    outputs = batch * params.num_outputs
     k_folds = tiling.k_folds
     c_folds = tiling.c_folds
 
@@ -129,29 +162,31 @@ def profile_traffic(
     weight_stream_bytes = params.weight_bytes(bits)
     ofm_write_bytes = outputs * k_folds * elem
     ofm_psum_read_bytes = outputs * (k_folds - 1) * elem
+    ifm_footprint_bytes = batch * params.ifm_bytes(bits)
 
     usable = memory.usable_sram_bytes()
     if memory.has_sram:
-        ifm_fits = params.ifm_bytes(bits) <= usable
+        ifm_fits = ifm_footprint_bytes <= usable
         if ifm_fits:
             # Demand traffic: a strided window (stride > window edge) can
             # leave the im2col stream *smaller* than the IFM footprint, and
             # only touched pixels are ever fetched — without the cap, adding
             # SRAM would inflate DRAM traffic above the bare demand stream.
-            ifm_dram_read = min(params.ifm_bytes(bits), ifm_stream_bytes)
+            ifm_dram_read = min(ifm_footprint_bytes, ifm_stream_bytes)
         else:
             # Each column fold re-streams the IFM from DRAM through the
             # (too-small) buffer; never more than the raw im2col stream.
-            ifm_dram_read = min(params.ifm_bytes(bits) * c_folds, ifm_stream_bytes)
+            ifm_dram_read = min(ifm_footprint_bytes * c_folds, ifm_stream_bytes)
         ifm = VariableTraffic(
             sram_read=ifm_stream_bytes,
             sram_write=ifm_dram_read,
             dram_read=ifm_dram_read,
         )
+        weight_fill_bytes = 0 if warm_weights else weight_stream_bytes
         weight = VariableTraffic(
             sram_read=weight_stream_bytes,
-            sram_write=weight_stream_bytes,
-            dram_read=weight_stream_bytes,
+            sram_write=weight_fill_bytes,
+            dram_read=weight_fill_bytes,
         )
         # With an OFM SRAM, partial sums accumulate on chip: the schedule
         # tiles output positions so the live partial window fits, and only
@@ -159,7 +194,7 @@ def profile_traffic(
         ofm = VariableTraffic(
             sram_read=ofm_psum_read_bytes,
             sram_write=ofm_write_bytes,
-            dram_write=params.ofm_bytes(bits),
+            dram_write=batch * params.ofm_bytes(bits),
         )
     else:
         ifm = VariableTraffic(dram_read=ifm_stream_bytes)

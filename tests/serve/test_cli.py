@@ -1,0 +1,66 @@
+"""The serving CLI: table output, byte-identical JSON, usage errors."""
+
+import json
+
+import pytest
+
+from repro.serve.cli import build_parser, main
+
+FAST_ARGS = [
+    "--workload", "alexnet",
+    "--rate", "40",
+    "--horizon-s", "0.2",
+    "--policy", "dynamic",
+    "--slo-ms", "50",
+    "--seed", "0",
+    "--schemes", "BP",
+]
+
+
+def test_parser_covers_the_documented_flags():
+    args = build_parser().parse_args(FAST_ARGS)
+    assert args.workload == "alexnet"
+    assert args.rate == 40.0
+    assert args.slo_ms == 50.0
+
+
+def test_cli_prints_table_and_writes_json(tmp_path, capsys):
+    out = tmp_path / "metrics.json"
+    assert main(FAST_ARGS + ["--json", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "scheme" in printed and "p99 ms" in printed and "mJ/req" in printed
+    document = json.loads(out.read_text())
+    assert document["config"]["workload"] == "alexnet"
+    assert set(document["schemes"]) == {"BP"}
+    summary = document["schemes"]["BP"]["summary"]
+    assert summary["arrivals"] == document["requests"]
+
+
+def test_same_seed_json_is_byte_identical(tmp_path):
+    first = tmp_path / "a.json"
+    second = tmp_path / "b.json"
+    main(FAST_ARGS + ["--json", str(first)])
+    main(FAST_ARGS + ["--json", str(second)])
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_multi_scheme_comparison(tmp_path, capsys):
+    args = FAST_ARGS[:-2] + ["--schemes", "BP,UR"]
+    args += ["--ebt", "6", "--rate", "10", "--json", str(tmp_path / "m.json")]
+    assert main(args) == 0
+    document = json.loads((tmp_path / "m.json").read_text())
+    assert set(document["schemes"]) == {"BP", "UR"}
+    # The HUB rate array pays latency for its bandwidth savings.
+    bp = document["schemes"]["BP"]["summary"]
+    ur = document["schemes"]["UR"]["summary"]
+    assert ur["p99_latency_s"] > bp["p99_latency_s"]
+    capsys.readouterr()
+
+
+def test_bad_arguments_are_usage_errors():
+    with pytest.raises(SystemExit):
+        main(["--workload", "alexnet", "--rate", "10", "--schemes", "XX"])
+    with pytest.raises(SystemExit):
+        main(["--workload", "alexnet", "--rate", "10", "--slo-ms", "-5"])
+    with pytest.raises(SystemExit):
+        main(["--workload", "alexnet", "--rate", "10", "--schemes", "BP,BP"])

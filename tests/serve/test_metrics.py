@@ -1,0 +1,80 @@
+"""Metrics collector: percentiles, conservation, ledger round trip."""
+
+import pytest
+
+from repro.serve.metrics import ServeMetrics, percentile
+from repro.serve.requests import Request, RequestStatus
+
+
+def _req(i, t, deadline=None):
+    return Request(req_id=i, workload="net", arrival_s=t, deadline_s=deadline)
+
+
+def test_nearest_rank_percentiles():
+    values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+    assert percentile(values, 0.50) == 5.0
+    assert percentile(values, 0.95) == 10.0
+    assert percentile(values, 0.99) == 10.0
+    assert percentile(values, 1.0) == 10.0
+    assert percentile([], 0.5) == 0.0
+    with pytest.raises(ValueError):
+        percentile(values, 0.0)
+
+
+def test_summary_from_a_small_event_history():
+    m = ServeMetrics(slo_s=1.0)
+    m.observe_admit(_req(0, 0.0, deadline=1.0), 0.0)
+    m.observe_admit(_req(1, 0.5, deadline=1.5), 0.5)
+    m.observe_reject(_req(2, 0.6), 0.6)
+    m.observe_dispatch(2, 1.0, 1.0)
+    m.observe_complete(_req(0, 0.0, deadline=1.0), 2.0, 2, 0.5)
+    m.observe_complete(_req(1, 0.5, deadline=1.5), 2.0, 2, 0.5)
+    m.finalize(2.0)
+    s = m.summary()
+    assert s["arrivals"] == 3.0
+    assert s["completed"] == 2.0
+    assert s["rejected"] == 1.0
+    assert s["slo_attainment"] == 0.0  # both finished past their deadlines
+    assert s["p50_latency_s"] == pytest.approx(1.5)
+    assert s["p99_latency_s"] == pytest.approx(2.0)
+    assert s["energy_per_request_j"] == pytest.approx(0.5)
+    assert s["utilization"] == pytest.approx(0.5)
+    # One in system over [0, 0.5), two over [0.5, 2.0): integral = 3.5.
+    assert m.depth_integral == pytest.approx(3.5)
+    assert s["mean_in_system"] == pytest.approx(3.5 / 2.0)
+
+
+def test_conservation_violation_raises():
+    m = ServeMetrics()
+    m.observe_admit(_req(0, 0.0), 0.0)
+    m.assert_conserved(queued=1, in_service=0)
+    with pytest.raises(RuntimeError):
+        m.assert_conserved(queued=0, in_service=0)
+
+
+def test_events_must_be_time_ordered():
+    m = ServeMetrics()
+    m.observe_admit(_req(0, 1.0), 1.0)
+    with pytest.raises(ValueError):
+        m.observe_admit(_req(1, 0.5), 0.5)
+
+
+def test_ledger_round_trip_preserves_everything():
+    m = ServeMetrics(slo_s=0.2)
+    m.observe_admit(_req(0, 0.0, deadline=0.2), 0.0)
+    m.observe_dispatch(1, 0.1, 0.0)
+    m.observe_complete(_req(0, 0.0, deadline=0.2), 0.1, 1, 0.01)
+    m.observe_admit(_req(1, 0.3, deadline=0.5), 0.3)
+    m.observe_drop(_req(1, 0.3, deadline=0.5), 0.6)
+    m.finalize(0.6)
+    back = ServeMetrics.from_json(m.to_json())
+    assert back.to_json() == m.to_json()
+    assert back.summary() == m.summary()
+    assert back.ledger_text() == m.ledger_text()
+    statuses = [r.status for r in back.records]
+    assert statuses == [RequestStatus.COMPLETED, RequestStatus.DROPPED]
+
+
+def test_slo_validation():
+    with pytest.raises(ValueError):
+        ServeMetrics(slo_s=0.0)

@@ -1,0 +1,52 @@
+"""Residency tracker: warm hits, cold fills, evictions, oversized sets."""
+
+import pytest
+
+from repro.serve.residency import ResidencyTracker
+
+
+def test_first_admit_is_cold_then_warm():
+    tracker = ResidencyTracker(capacity_bytes=1000)
+    assert not tracker.admit("a", 600)
+    assert tracker.admit("a", 600)
+    assert tracker.admit("a", 600)
+    assert tracker.counters() == {
+        "warm_hits": 2,
+        "cold_fills": 1,
+        "evictions": 0,
+    }
+
+
+def test_interleaving_two_networks_pays_per_switch():
+    tracker = ResidencyTracker(capacity_bytes=1000)
+    for _ in range(3):
+        assert not tracker.admit("a", 600)
+        assert not tracker.admit("b", 500)
+    assert tracker.counters()["cold_fills"] == 6
+    assert tracker.counters()["evictions"] == 5
+    assert tracker.counters()["warm_hits"] == 0
+
+
+def test_oversized_working_set_streams_past_the_buffer():
+    tracker = ResidencyTracker(capacity_bytes=1000)
+    assert not tracker.admit("a", 600)
+    # Too big to ever be resident — and it must not evict 'a' either.
+    assert not tracker.admit("big", 5000)
+    assert not tracker.admit("big", 5000)
+    assert tracker.admit("a", 600)
+    assert tracker.resident == "a"
+
+
+def test_flush_forgets_the_resident():
+    tracker = ResidencyTracker(capacity_bytes=1000)
+    tracker.admit("a", 600)
+    tracker.flush()
+    assert tracker.resident is None
+    assert not tracker.admit("a", 600)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ResidencyTracker(capacity_bytes=-1)
+    with pytest.raises(ValueError):
+        ResidencyTracker(capacity_bytes=10).admit("a", -5)
