@@ -16,7 +16,7 @@ fuzz:
 	$(PYTHON) -m repro.verify fuzz --seed 0 --budget 200
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	$(PYTHON) benchmarks/bench_trajectory.py --check
 
 eval:
 	$(PYTHON) -m repro.eval

@@ -1,0 +1,342 @@
+"""Pinned performance trajectory: the repo's own throughput history.
+
+Every hot-path PR appends one entry per area to the committed
+``BENCH_sim.json`` / ``BENCH_serve.json`` / ``BENCH_verify.json`` files,
+so speedups (and regressions) are *visible* in review instead of being
+asserted in prose.  Three micro-runs cover the three throughput axes the
+ROADMAP names:
+
+- **sim** — analytic layer simulation (``cycles_per_s`` = simulated
+  compute cycles per wall second over the AlexNet network) plus the
+  functional HUB kernel (``kernel_macs_per_s`` = bit-true MACs executed
+  per wall second through ``UsystolicArray.execute``);
+- **serve** — the discrete-event serving loop (``requests_per_s`` =
+  completed requests per wall second at an overload arrival rate);
+- **verify** — differential fuzzing (``execs_per_s`` = fuzz cases
+  executed per wall second, seeded).
+
+Modes::
+
+    python benchmarks/bench_trajectory.py               # measure + print
+    python benchmarks/bench_trajectory.py --update --label "PR6 vectorised"
+    python benchmarks/bench_trajectory.py --check       # CI regression gate
+    python benchmarks/bench_trajectory.py --profile-out prof.json
+
+``--check`` fails (exit 1) when any area's headline metric drops more
+than ``--tolerance`` (default 40%) below the newest committed entry that
+was measured on a machine with the same fingerprint; entries from other
+machines are reported but never gate, so the committed history ratchets
+local/CI loops without tripping on hardware differences.
+
+``--profile-out`` additionally runs every micro-run under ``cProfile``
+and writes the per-function cumulative times as the JSON document
+``python -m repro.analysis --profile`` ingests to rank PERF findings by
+measured hotness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import json
+import os
+import platform
+import pstats
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.array import UsystolicArray  # noqa: E402
+from repro.core.config import ArrayConfig  # noqa: E402
+from repro.gemm.params import GemmParams  # noqa: E402
+from repro.schemes import ComputeScheme  # noqa: E402
+from repro.serve.arrivals import poisson_arrivals  # noqa: E402
+from repro.serve.batching import make_batcher  # noqa: E402
+from repro.serve.costs import NetworkCostModel  # noqa: E402
+from repro.serve.executor import ServeExecutor  # noqa: E402
+from repro.serve.queueing import make_queue  # noqa: E402
+from repro.sim.engine import simulate_network  # noqa: E402
+from repro.verify.fuzz import run_fuzz  # noqa: E402
+from repro.workloads.alexnet import alexnet_layers  # noqa: E402
+from repro.workloads.presets import EDGE  # noqa: E402
+
+BENCH_SCHEMA_VERSION = 1
+PROFILE_SCHEMA_VERSION = 1
+DEFAULT_TOLERANCE = 0.40
+SEED = 0
+
+#: area -> (output file, headline metric gated by --check).
+AREAS = {
+    "sim": ("BENCH_sim.json", "cycles_per_s"),
+    "serve": ("BENCH_serve.json", "requests_per_s"),
+    "verify": ("BENCH_verify.json", "execs_per_s"),
+}
+
+
+def machine_fingerprint() -> dict:
+    """Hardware/software identity of this measurement host.
+
+    Entries only gate against entries with an equal fingerprint, so the
+    committed trajectory can mix machines without false regressions.
+    """
+    return {
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+# ----------------------------------------------------------------------
+# micro-runs
+# ----------------------------------------------------------------------
+def bench_sim(quick: bool = False) -> dict:
+    """Analytic simulation + functional kernel throughput."""
+    layers = alexnet_layers()
+    array = EDGE.array(ComputeScheme.USYSTOLIC_RATE, bits=8, ebt=6)
+    memory = EDGE.memory_for(ComputeScheme.USYSTOLIC_RATE)
+    repeats = 1 if quick else 3
+    start = time.perf_counter()
+    cycles = 0
+    for _ in range(repeats):
+        # The repeated invariant call is the benchmark: we time it.
+        results = simulate_network(layers, array, memory)  # repro-lint: ignore[perf]
+        cycles += sum(r.compute_cycles for r in results)
+    sim_wall_s = time.perf_counter() - start
+
+    # Functional kernel: one bit-true unary GEMM through the array.
+    params = GemmParams("bench", ih=10, iw=10, ic=8, wh=3, ww=3, oc=16, stride=1)
+    rng = np.random.default_rng(SEED)
+    weight = rng.integers(-127, 128, size=(params.oc, params.wh, params.ww, params.ic))
+    ifm = rng.integers(-127, 128, size=(params.ih, params.iw, params.ic))
+    kernel = UsystolicArray(
+        ArrayConfig(rows=12, cols=14, scheme=ComputeScheme.USYSTOLIC_RATE, bits=8, ebt=4)
+    )
+    start = time.perf_counter()
+    kernel.execute(params, weight, ifm)
+    kernel_wall_s = time.perf_counter() - start
+    kernel_macs = params.macs
+
+    return {
+        "cycles_per_s": cycles / sim_wall_s,
+        "sim_layers": len(layers) * repeats,
+        "sim_wall_s": sim_wall_s,
+        "kernel_macs_per_s": kernel_macs / kernel_wall_s,
+        "kernel_wall_s": kernel_wall_s,
+    }
+
+
+def bench_serve(quick: bool = False) -> dict:
+    """Discrete-event serving throughput at an overload arrival rate."""
+    array = EDGE.array(ComputeScheme.USYSTOLIC_RATE, bits=8, ebt=6)
+    memory = EDGE.memory_for(ComputeScheme.USYSTOLIC_RATE)
+    model = NetworkCostModel(
+        name="alexnet", layers=alexnet_layers(), array=array, memory=memory
+    )
+    horizon_s = 2.0 if quick else 10.0
+    arrivals = poisson_arrivals(
+        "alexnet", rate_per_s=400.0, horizon_s=horizon_s, seed=SEED, slo_s=0.5
+    )
+    executor = ServeExecutor(
+        models={"alexnet": model},
+        queue=make_queue("fifo", 256),
+        batcher=make_batcher("dynamic", 8, max_wait_s=5e-3),
+        slo_s=0.5,
+    )
+    start = time.perf_counter()
+    metrics = executor.run(arrivals)
+    wall_s = time.perf_counter() - start
+    return {
+        "requests_per_s": len(arrivals) / wall_s,
+        "completed_per_s": metrics.completed / wall_s,
+        "arrivals": len(arrivals),
+        "completed": metrics.completed,
+        "serve_wall_s": wall_s,
+    }
+
+
+def bench_verify(quick: bool = False) -> dict:
+    """Seeded differential-fuzz execution throughput (no cache, no disk)."""
+    budget = 20 if quick else 60
+    start = time.perf_counter()
+    result = run_fuzz(SEED, budget, jobs=1, out_dir=None, store=None)
+    wall_s = time.perf_counter() - start
+    if result.failures:
+        raise RuntimeError(
+            f"fuzz found {len(result.failures)} failure(s) during benchmarking"
+        )
+    return {
+        "execs_per_s": result.budget / wall_s,
+        "executed": result.budget,
+        "checks": result.checks,
+        "fuzz_wall_s": wall_s,
+    }
+
+
+_RUNNERS = {"sim": bench_sim, "serve": bench_serve, "verify": bench_verify}
+
+
+# ----------------------------------------------------------------------
+# trajectory files
+# ----------------------------------------------------------------------
+def load_trajectory(path: Path) -> list[dict]:
+    """Entries of one committed ``BENCH_*.json`` (empty when absent)."""
+    if not path.is_file():
+        return []
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    if doc.get("schema_version") != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {doc.get('schema_version')!r} != "
+            f"{BENCH_SCHEMA_VERSION}"
+        )
+    return list(doc["trajectory"])
+
+
+def save_trajectory(path: Path, area: str, entries: list[dict]) -> None:
+    """Write one area's trajectory document (stable key order)."""
+    doc = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "area": area,
+        "trajectory": entries,
+    }
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def check_area(
+    area: str, metrics: dict, entries: list[dict], tolerance: float
+) -> tuple[bool, str]:
+    """Gate one area: (ok, human-readable verdict line)."""
+    _, headline = AREAS[area]
+    current = metrics[headline]
+    fingerprint = machine_fingerprint()
+    comparable = [e for e in entries if e.get("machine") == fingerprint]
+    if not comparable:
+        return True, (
+            f"{area}: {headline}={current:,.0f} — no committed entry from "
+            "this machine; gate passes vacuously"
+        )
+    last = comparable[-1]
+    committed = last["metrics"][headline]
+    floor = committed * (1.0 - tolerance)
+    ok = current >= floor
+    verdict = "ok" if ok else "REGRESSION"
+    return ok, (
+        f"{area}: {headline}={current:,.0f} vs committed "
+        f"{committed:,.0f} ({last['label']!r}); floor={floor:,.0f} "
+        f"[{verdict}]"
+    )
+
+
+# ----------------------------------------------------------------------
+# profile emission (for `python -m repro.analysis --profile`)
+# ----------------------------------------------------------------------
+def profile_to_json(stats: pstats.Stats, top: int = 80) -> dict:
+    """The cProfile hot list as the analysis ``--profile`` document."""
+    rows = []
+    for (filename, lineno, funcname), (
+        _cc,
+        ncalls,
+        _tt,
+        cumtime_s,
+        _callers,
+    ) in stats.stats.items():
+        try:
+            rel = str(Path(filename).resolve().relative_to(REPO_ROOT))
+        except ValueError:
+            continue  # stdlib / site-packages frames do not rank repo findings
+        rows.append(
+            {
+                "file": rel,
+                "line": lineno,
+                "function": funcname,
+                "ncalls": ncalls,
+                "cumtime_s": round(cumtime_s, 6),
+            }
+        )
+    rows.sort(key=lambda r: (-r["cumtime_s"], r["file"], r["function"]))
+    return {"schema_version": PROFILE_SCHEMA_VERSION, "entries": rows[:top]}
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    """Run the micro-benchmarks; 0 ok, 1 regression gate failure."""
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--areas", default="sim,serve,verify")
+    parser.add_argument("--out-dir", default=str(REPO_ROOT))
+    parser.add_argument("--label", default="unlabelled run")
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="append this run to the committed trajectory files",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="regression gate vs the committed trajectory",
+    )
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument("--quick", action="store_true", help="smaller budgets")
+    parser.add_argument("--profile-out", default=None, metavar="FILE")
+    args = parser.parse_args(argv)
+
+    areas = [a.strip() for a in args.areas.split(",") if a.strip()]
+    unknown = sorted(set(areas) - set(AREAS))
+    if unknown:
+        parser.error(f"unknown areas: {', '.join(unknown)}")
+
+    profiler = cProfile.Profile() if args.profile_out else None
+    measured: dict[str, dict] = {}
+    for area in areas:
+        runner = _RUNNERS[area]
+        if profiler is not None:
+            profiler.enable()
+        metrics = runner(quick=args.quick)
+        if profiler is not None:
+            profiler.disable()
+        measured[area] = metrics
+        _, headline = AREAS[area]
+        print(f"[{area}] {headline} = {metrics[headline]:,.0f}")
+
+    if profiler is not None:
+        doc = profile_to_json(pstats.Stats(profiler))
+        Path(args.profile_out).write_text(
+            json.dumps(doc, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"profile written to {args.profile_out}")
+
+    out_dir = Path(args.out_dir)
+    failed = False
+    machine = machine_fingerprint()
+    for area, metrics in measured.items():
+        filename, _ = AREAS[area]
+        path = out_dir / filename
+        entries = load_trajectory(path)
+        if args.check:
+            ok, line = check_area(area, metrics, entries, args.tolerance)
+            print(line)
+            failed = failed or not ok
+        if args.update:
+            entries.append(
+                {
+                    "label": args.label,
+                    "seed": SEED,
+                    "quick": bool(args.quick),
+                    "machine": machine,
+                    "metrics": {k: round(v, 3) for k, v in metrics.items()},
+                }
+            )
+            save_trajectory(path, area, entries)
+            print(f"{path.name}: {len(entries)} entries")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,15 @@ pytest gate):
   and return/assignment unit agreement across resolved call sites;
 - **dead** (``DEAD*``) — ``__all__`` exports and modules unreachable
   from every entrypoint, test, example and benchmark;
+- **perf** (``PERF*``) — hot-path vectorisation: element-wise ndarray
+  loops, reducible accumulations, in-loop allocation, loop-invariant
+  pure calls — built on per-function CFGs (``analysis.cfg``) and the
+  dataflow solver (``analysis.dataflow``), ranked by measured cProfile
+  time under ``--profile``;
+- **conc** (``CONC*``) — pool-determinism: unordered dict/set iteration
+  reaching hash/ledger sinks, nondeterministically seeded RNGs,
+  module-level mutable state read by pool workers, completion-order
+  accumulation;
 - **sup** (``SUP001``) — suppression comments that suppress nothing.
 
 :mod:`repro.analysis.contracts` carries the runtime half of the config
@@ -35,13 +44,17 @@ from __future__ import annotations
 
 from .arch import ArchChecker
 from .baseline import Baseline, BaselineDelta
+from .cfg import CFG, build_cfg
+from .conc import ConcChecker
 from .config_checks import ConfigChecker
+from .dataflow import LiveVariables, NdarrayTypes, ReachingDefinitions
 from .dead import DeadChecker
 from .determinism import DeterminismChecker
 from .exports import ExportChecker
 from .findings import Finding
 from .flow import FlowChecker
 from .modgraph import ModuleIndex, build_index, module_name_for
+from .perf import PerfChecker
 from .reporting import render_json, render_text
 from .runner import (
     ALL_CHECKERS,
@@ -65,19 +78,26 @@ __all__ = [
     "ArchChecker",
     "Baseline",
     "BaselineDelta",
+    "CFG",
     "Checker",
+    "ConcChecker",
     "ConfigChecker",
     "DeadChecker",
     "DeterminismChecker",
     "ExportChecker",
     "Finding",
     "FlowChecker",
+    "LiveVariables",
     "ModuleIndex",
+    "NdarrayTypes",
+    "PerfChecker",
     "ProjectChecker",
+    "ReachingDefinitions",
     "SourceFile",
     "UnitChecker",
     "VerificationChecker",
     "analyze",
+    "build_cfg",
     "build_index",
     "collect_sources",
     "context_paths",

@@ -1,0 +1,674 @@
+"""Generic dataflow solver + the analyses the PERF/CONC passes consume.
+
+A :class:`DataflowAnalysis` names a direction, a boundary fact, a join
+and a block transfer; :func:`solve` runs the optimistic worklist
+iteration over a :class:`~repro.analysis.cfg.CFG` to the fixpoint.  On
+top of the generic solver:
+
+- :class:`ReachingDefinitions` — which textual definitions of a name may
+  reach a statement (parameters count as entry definitions);
+- :class:`LiveVariables` — backward liveness, per block;
+- :class:`NdarrayTypes` — a three-point lattice (``array`` / ``other`` /
+  unknown) over local names, seeded from numpy-module aliases, resolved
+  in-project callees whose return annotation names ``ndarray``,
+  parameter annotations, and — as a scalar hint — the FLOW unit
+  vocabulary (a ``*_cycles`` / ``*_pj`` name is a quantity, not an
+  array).
+
+Statements are the *shallow* statements of the CFG: transfers never look
+inside a compound statement's body (those live in other blocks); the
+header expressions come from :func:`~repro.analysis.cfg.shallow_exprs`.
+
+All analyses are per-function and flow-insensitive across calls — the
+checkers built on top (``perf``/``conc``) accept that a *may* answer is
+the right default for lint.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Any, Iterator
+
+from .cfg import CFG, BasicBlock, build_cfg, shallow_exprs
+from .modgraph import ModuleIndex, ModuleInfo, resolve_callee
+from .units import parse_unit
+
+__all__ = [
+    "ArraySeeds",
+    "DataflowAnalysis",
+    "Definition",
+    "LiveVariables",
+    "NdarrayTypes",
+    "ReachingDefinitions",
+    "array_seeds",
+    "iter_functions",
+    "solve",
+    "stmt_defs",
+    "stmt_uses",
+]
+
+
+# -- shallow def/use extraction --------------------------------------------
+
+
+def _target_names(target: ast.AST) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+    # Attribute / Subscript targets mutate, they do not bind a local name.
+
+
+def stmt_defs(stmt: ast.stmt) -> list[str]:
+    """Local names a shallowly placed statement binds (header view)."""
+    names: list[str] = []
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            names.extend(_target_names(target))
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        names.extend(_target_names(stmt.target))
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        names.extend(_target_names(stmt.target))
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                names.extend(_target_names(item.optional_vars))
+    elif isinstance(stmt, ast.ExceptHandler):
+        if stmt.name:
+            names.append(stmt.name)
+    elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        for alias in stmt.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name.split(".", 1)[0]
+            names.append(local)
+    elif isinstance(
+        stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        names.append(stmt.name)
+    return names
+
+
+def stmt_uses(stmt: ast.stmt) -> list[ast.Name]:
+    """``Name`` loads a shallowly placed statement itself evaluates."""
+    uses: list[ast.Name] = []
+    for expr in shallow_exprs(stmt):
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                uses.append(node)
+    return uses
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Every function in a module with a dotted qualifier (methods too)."""
+    stack: list[tuple[str, ast.AST]] = [("", tree)]
+    while stack:
+        prefix, node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                yield qualname, child
+                stack.append((f"{qualname}.", child))
+            elif isinstance(child, ast.ClassDef):
+                stack.append((f"{prefix}{child.name}.", child))
+            elif not isinstance(child, ast.Lambda):
+                stack.append((prefix, child))
+
+
+# -- generic solver --------------------------------------------------------
+
+
+class DataflowAnalysis:
+    """One dataflow problem: direction, lattice operations, transfer."""
+
+    direction = "forward"  # or "backward"
+
+    def boundary(self) -> Any:
+        """Fact at the entry (forward) or exit (backward) boundary."""
+        raise NotImplementedError
+
+    def initial(self) -> Any:
+        """Fact for a block no computed predecessor reaches."""
+        raise NotImplementedError
+
+    def join(self, a: Any, b: Any) -> Any:
+        """Least upper bound of two facts at a merge point."""
+        raise NotImplementedError
+
+    def transfer(self, block: BasicBlock, fact: Any) -> Any:
+        """Fact after executing ``block`` given the fact before it."""
+        raise NotImplementedError
+
+
+def _reverse_postorder(cfg: CFG, start: int, forward: bool) -> list[int]:
+    """Blocks reachable from ``start``, predecessors-first in flow order."""
+    order: list[int] = []
+    seen: set[int] = set()
+    stack: list[tuple[int, Iterator[int]]] = []
+    seen.add(start)
+    succs = sorted(
+        cfg.blocks[start].succs if forward else cfg.blocks[start].preds
+    )
+    stack.append((start, iter(succs)))
+    while stack:
+        bid, it = stack[-1]
+        advanced = False
+        for nxt in it:
+            if nxt not in seen:
+                seen.add(nxt)
+                block = cfg.blocks[nxt]
+                stack.append(
+                    (nxt, iter(sorted(block.succs if forward else block.preds)))
+                )
+                advanced = True
+                break
+        if not advanced:
+            stack.pop()
+            order.append(bid)
+    order.reverse()
+    return order
+
+
+def solve(cfg: CFG, analysis: DataflowAnalysis) -> dict[int, tuple[Any, Any]]:
+    """Worklist fixpoint; maps block id -> (fact before, fact after).
+
+    "Before"/"after" are in *execution* order for both directions (for a
+    backward analysis the transfer runs against execution order, but the
+    returned pair is still ``(at block entry, at block exit)``).
+
+    The worklist seeds in reverse postorder from the boundary block, so a
+    block's predecessors are (back edges aside) computed before the block
+    itself and an uncomputed predecessor is simply skipped at the join
+    (= treated as ⊤) rather than collapsed to ``initial()``; injecting
+    ``initial()`` mid-iteration is what made the intersection-join ndarray
+    analysis oscillate.  ``initial()`` now only ever feeds blocks that are
+    unreachable from the boundary (dead code after ``return``/``raise``).
+
+    Termination is guaranteed even for a non-monotone transfer: past a
+    per-block visit budget the new fact is dampened through
+    ``analysis.join`` with the old one, which is a no-op for monotone
+    analyses (the join of an ascending pair is the new fact) and forces
+    disagreeing entries to resolve for oscillating ones — the dampened
+    sequence moves one way through a finite lattice, so it stops.
+    """
+    forward = analysis.direction == "forward"
+    start = cfg.entry if forward else cfg.exit
+
+    def preds(bid: int) -> set[int]:
+        block = cfg.blocks[bid]
+        return block.preds if forward else block.succs
+
+    rpo = _reverse_postorder(cfg, start, forward)
+    unreachable = [bid for bid in sorted(cfg.blocks) if bid not in set(rpo)]
+    visit_cap = 8 + 4 * len(cfg.blocks)
+
+    out: dict[int, Any] = {}  # fact on the downstream side, optimistic ⊤
+    worklist = [*rpo, *unreachable]
+    in_worklist = set(worklist)
+    visits: dict[int, int] = {}
+    inputs: dict[int, Any] = {}
+    while worklist:
+        bid = worklist.pop(0)
+        in_worklist.discard(bid)
+        if bid == start:
+            fact = analysis.boundary()
+        else:
+            fact = None
+            for pred in preds(bid):
+                if pred in out:
+                    fact = (
+                        out[pred]
+                        if fact is None
+                        else analysis.join(fact, out[pred])
+                    )
+            if fact is None:
+                fact = analysis.initial()
+        inputs[bid] = fact
+        new_out = analysis.transfer(cfg.blocks[bid], fact)
+        if bid in out:
+            if out[bid] == new_out:
+                continue
+            visits[bid] = visits.get(bid, 0) + 1
+            if visits[bid] > visit_cap:
+                new_out = analysis.join(out[bid], new_out)
+                if out[bid] == new_out:
+                    continue
+        out[bid] = new_out
+        block = cfg.blocks[bid]
+        for succ in block.succs if forward else block.preds:
+            if succ not in in_worklist:
+                worklist.append(succ)
+                in_worklist.add(succ)
+    if forward:
+        return {bid: (inputs[bid], out[bid]) for bid in cfg.blocks}
+    return {bid: (out[bid], inputs[bid]) for bid in cfg.blocks}
+
+
+# -- reaching definitions --------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class Definition:
+    """One textual definition site of a local name."""
+
+    name: str
+    block: int
+    #: statement index inside the block; -1 marks a parameter binding.
+    index: int
+    node: ast.AST = dataclasses.field(compare=False, hash=False, repr=False)
+
+
+class _ReachingProblem(DataflowAnalysis):
+    direction = "forward"
+
+    def __init__(self, rd: "ReachingDefinitions") -> None:
+        self._rd = rd
+
+    def boundary(self) -> frozenset[Definition]:
+        return self._rd.param_defs
+
+    def initial(self) -> frozenset[Definition]:
+        return frozenset()
+
+    def join(
+        self, a: frozenset[Definition], b: frozenset[Definition]
+    ) -> frozenset[Definition]:
+        return a | b
+
+    def transfer(
+        self, block: BasicBlock, fact: frozenset[Definition]
+    ) -> frozenset[Definition]:
+        for i in range(len(block.stmts)):
+            fact = self._rd.step(block.bid, i, fact)
+        return fact
+
+
+class ReachingDefinitions:
+    """Which definitions of each name may reach each statement."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        args = cfg.func.args
+        params = [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        ]
+        self.param_defs = frozenset(
+            Definition(name=a.arg, block=cfg.entry, index=-1, node=a)
+            for a in params
+        )
+        self._stmt_defs: dict[tuple[int, int], tuple[Definition, ...]] = {}
+        for block in cfg.blocks.values():
+            for i, stmt in enumerate(block.stmts):
+                self._stmt_defs[(block.bid, i)] = tuple(
+                    Definition(name=name, block=block.bid, index=i, node=stmt)
+                    for name in stmt_defs(stmt)
+                )
+        solution = solve(cfg, _ReachingProblem(self))
+        self.block_in = {bid: pair[0] for bid, pair in solution.items()}
+
+    def step(
+        self, bid: int, index: int, fact: frozenset[Definition]
+    ) -> frozenset[Definition]:
+        """Apply statement ``(bid, index)``'s kill/gen to ``fact``."""
+        new_defs = self._stmt_defs[(bid, index)]
+        if not new_defs:
+            return fact
+        killed = {d.name for d in new_defs}
+        return (
+            frozenset(d for d in fact if d.name not in killed) | set(new_defs)
+        )
+
+    def before(self, bid: int, index: int) -> frozenset[Definition]:
+        """Definitions reaching just before statement ``index`` of ``bid``."""
+        fact = self.block_in[bid]
+        for i in range(index):
+            fact = self.step(bid, i, fact)
+        return fact
+
+    def of(
+        self, name: str, fact: frozenset[Definition]
+    ) -> tuple[Definition, ...]:
+        """The definitions of ``name`` within ``fact``, in stable order."""
+        return tuple(
+            sorted(
+                (d for d in fact if d.name == name),
+                key=lambda d: (d.block, d.index),
+            )
+        )
+
+
+# -- live variables --------------------------------------------------------
+
+
+class _LivenessProblem(DataflowAnalysis):
+    direction = "backward"
+
+    def boundary(self) -> frozenset[str]:
+        return frozenset()
+
+    def initial(self) -> frozenset[str]:
+        return frozenset()
+
+    def join(self, a: frozenset[str], b: frozenset[str]) -> frozenset[str]:
+        return a | b
+
+    def transfer(
+        self, block: BasicBlock, fact: frozenset[str]
+    ) -> frozenset[str]:
+        for stmt in reversed(block.stmts):
+            fact = fact - frozenset(stmt_defs(stmt))
+            fact = fact | frozenset(n.id for n in stmt_uses(stmt))
+        return fact
+
+
+class LiveVariables:
+    """Backward liveness over local names, per block boundary."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        solution = solve(cfg, _LivenessProblem())
+        self.block_in = {bid: pair[0] for bid, pair in solution.items()}
+        self.block_out = {bid: pair[1] for bid, pair in solution.items()}
+
+    def live_in(self, bid: int) -> frozenset[str]:
+        """Names live on entry to block ``bid``."""
+        return self.block_in[bid]
+
+    def live_out(self, bid: int) -> frozenset[str]:
+        """Names live on exit from block ``bid``."""
+        return self.block_out[bid]
+
+
+# -- ndarray typedness -----------------------------------------------------
+
+ARRAY = "array"
+OTHER = "other"
+
+#: numpy constructors whose result is an ndarray.
+_NP_ARRAY_FUNCS = {
+    "array", "asarray", "ascontiguousarray", "zeros", "zeros_like", "ones",
+    "ones_like", "empty", "empty_like", "full", "full_like", "arange",
+    "linspace", "concatenate", "stack", "vstack", "hstack", "tile", "repeat",
+    "where", "clip", "cumsum", "cumprod", "sort", "argsort", "unique",
+    "reshape", "ravel", "take", "maximum", "minimum", "abs", "sign",
+    "bincount", "searchsorted", "pad", "roll", "flip", "split",
+}
+
+#: ndarray methods whose result is again an ndarray.
+_ARRAY_METHODS = {
+    "astype", "reshape", "copy", "ravel", "flatten", "clip", "round",
+    "take", "transpose", "cumsum", "repeat", "squeeze", "view",
+}
+
+#: expression forms that are definitely not ndarrays.
+_SCALARIZERS = {"tolist", "item"}
+
+
+@dataclasses.dataclass(frozen=True)
+class ArraySeeds:
+    """Module-level facts that seed the ndarray lattice for one function."""
+
+    #: local names bound to the numpy module (``np``).
+    numpy_aliases: frozenset[str]
+    #: local callables known (by annotation) to return an ndarray.
+    array_returning: frozenset[str]
+
+
+def _annotation_mentions_array(ann: ast.AST | None) -> bool:
+    if ann is None:
+        return False
+    for node in ast.walk(ann):
+        if isinstance(node, ast.Name) and node.id in ("ndarray", "NDArray"):
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in (
+            "ndarray",
+            "NDArray",
+        ):
+            return True
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if "ndarray" in node.value or "NDArray" in node.value:
+                return True
+    return False
+
+
+def _annotation_is_scalar(ann: ast.AST | None) -> bool:
+    return (
+        isinstance(ann, ast.Name)
+        and ann.id in ("int", "float", "bool", "str", "bytes")
+    )
+
+
+def array_seeds(
+    index: ModuleIndex | None,
+    info: ModuleInfo | None,
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> ArraySeeds:
+    """Collect the module facts :class:`NdarrayTypes` needs for ``func``.
+
+    ``array_returning`` holds every *local* name that resolves — through
+    the module index — to an in-project function whose return annotation
+    names ``ndarray`` (this is how ``repro.unary``'s kernel signatures
+    seed the lattice in callers).
+    """
+    numpy_aliases: set[str] = set()
+    array_returning: set[str] = set()
+    if info is not None:
+        for local, module in info.imported_modules.items():
+            if module == "numpy" or module.startswith("numpy."):
+                numpy_aliases.add(local)
+        if index is not None:
+            candidates: set[str] = set(info.imported_symbols)
+            candidates.update(info.defs)
+            for name in candidates:
+                resolved = resolve_callee(
+                    index, info, ast.Name(id=name, ctx=ast.Load())
+                )
+                if resolved is None:
+                    continue
+                node = resolved[1].node
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) and _annotation_mentions_array(node.returns):
+                    array_returning.add(name)
+    return ArraySeeds(
+        numpy_aliases=frozenset(numpy_aliases),
+        array_returning=frozenset(array_returning),
+    )
+
+
+class _NdarrayProblem(DataflowAnalysis):
+    direction = "forward"
+
+    def __init__(self, types: "NdarrayTypes") -> None:
+        self._types = types
+
+    def boundary(self) -> dict[str, str]:
+        return dict(self._types.entry_env)
+
+    def initial(self) -> dict[str, str]:
+        return {}
+
+    def join(self, a: dict[str, str], b: dict[str, str]) -> dict[str, str]:
+        return {k: v for k, v in a.items() if b.get(k) == v}
+
+    def transfer(
+        self, block: BasicBlock, fact: dict[str, str]
+    ) -> dict[str, str]:
+        env = dict(fact)
+        for stmt in block.stmts:
+            self._types.step(stmt, env)
+        return env
+
+
+class NdarrayTypes:
+    """Forward ``array``/``other``/unknown typedness of local names."""
+
+    def __init__(self, cfg: CFG, seeds: ArraySeeds) -> None:
+        self.cfg = cfg
+        self.seeds = seeds
+        self.entry_env: dict[str, str] = {}
+        args = cfg.func.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if _annotation_mentions_array(arg.annotation):
+                self.entry_env[arg.arg] = ARRAY
+            elif _annotation_is_scalar(arg.annotation):
+                self.entry_env[arg.arg] = OTHER
+        solution = solve(cfg, _NdarrayProblem(self))
+        self.block_in = {bid: pair[0] for bid, pair in solution.items()}
+
+    # -- expression classification ---------------------------------------
+
+    def kind_of(self, expr: ast.AST, env: dict[str, str]) -> str | None:
+        """``"array"``, ``"other"`` or ``None`` (unknown) for ``expr``."""
+        if isinstance(expr, ast.Name):
+            kind = env.get(expr.id)
+            if kind is not None:
+                return kind
+            # FLOW unit vocabulary: a unit-suffixed name is a quantity.
+            return OTHER if parse_unit(expr.id) is not None else None
+        if isinstance(expr, ast.Constant):
+            return OTHER
+        if isinstance(
+            expr,
+            (
+                ast.List,
+                ast.Tuple,
+                ast.Set,
+                ast.Dict,
+                ast.ListComp,
+                ast.SetComp,
+                ast.DictComp,
+                ast.GeneratorExp,
+                ast.JoinedStr,
+                ast.Compare,
+            ),
+        ):
+            return OTHER
+        if isinstance(expr, ast.Call):
+            return self._call_kind(expr, env)
+        if isinstance(expr, ast.Attribute):
+            if expr.attr == "T" and self.kind_of(expr.value, env) == ARRAY:
+                return ARRAY
+            return None
+        if isinstance(expr, ast.Subscript):
+            if self.kind_of(expr.value, env) == ARRAY and _slices(expr.slice):
+                return ARRAY
+            return None
+        if isinstance(expr, ast.BinOp):
+            left = self.kind_of(expr.left, env)
+            right = self.kind_of(expr.right, env)
+            if ARRAY in (left, right):
+                return ARRAY
+            if left == OTHER and right == OTHER:
+                return OTHER
+            return None
+        if isinstance(expr, ast.UnaryOp):
+            return self.kind_of(expr.operand, env)
+        if isinstance(expr, ast.IfExp):
+            body = self.kind_of(expr.body, env)
+            orelse = self.kind_of(expr.orelse, env)
+            return body if body == orelse else None
+        if isinstance(expr, ast.Starred):
+            return self.kind_of(expr.value, env)
+        return None
+
+    def _call_kind(self, call: ast.Call, env: dict[str, str]) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in self.seeds.array_returning:
+                return ARRAY
+            if func.id in ("len", "int", "float", "bool", "str", "sum",
+                           "min", "max", "list", "dict", "set", "tuple",
+                           "sorted", "range", "enumerate", "zip"):
+                return OTHER
+            return None
+        if isinstance(func, ast.Attribute):
+            if func.attr in _SCALARIZERS:
+                return OTHER
+            base = func.value
+            if (
+                isinstance(base, ast.Name)
+                and base.id in self.seeds.numpy_aliases
+            ):
+                return ARRAY if func.attr in _NP_ARRAY_FUNCS else None
+            if (
+                func.attr in _ARRAY_METHODS
+                and self.kind_of(base, env) == ARRAY
+            ):
+                return ARRAY
+            return None
+        return None
+
+    # -- transfer --------------------------------------------------------
+
+    def step(self, stmt: ast.stmt, env: dict[str, str]) -> None:
+        """Mutate ``env`` with the effect of one shallow statement."""
+        if isinstance(stmt, ast.Assign):
+            kind = self.kind_of(stmt.value, env)
+            for target in stmt.targets:
+                self._bind(target, kind, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if _annotation_mentions_array(stmt.annotation):
+                kind: str | None = ARRAY
+            elif _annotation_is_scalar(stmt.annotation):
+                kind = OTHER
+            elif stmt.value is not None:
+                kind = self.kind_of(stmt.value, env)
+            else:
+                kind = None
+            self._bind(stmt.target, kind, env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            # The element kind of an iterable is unknown in general (a 2-D
+            # array yields rows, a 1-D array yields scalars): drop targets.
+            self._bind(stmt.target, None, env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, None, env)
+        elif isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            env[stmt.name] = OTHER
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for name in stmt_defs(stmt):
+                env.pop(name, None)
+
+    def _bind(
+        self, target: ast.AST, kind: str | None, env: dict[str, str]
+    ) -> None:
+        if isinstance(target, ast.Name):
+            if kind is None:
+                env.pop(target.id, None)
+            else:
+                env[target.id] = kind
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, None, env)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, None, env)
+
+    def env_before(self, bid: int, index: int) -> dict[str, str]:
+        """The environment just before statement ``index`` of block ``bid``."""
+        env = dict(self.block_in[bid])
+        for stmt in self.cfg.blocks[bid].stmts[:index]:
+            self.step(stmt, env)
+        return env
+
+
+def _slices(node: ast.AST) -> bool:
+    """True when a subscript's index keeps at least one axis (a slice)."""
+    if isinstance(node, ast.Slice):
+        return True
+    if isinstance(node, ast.Tuple):
+        return any(_slices(elt) for elt in node.elts)
+    return False

@@ -22,6 +22,8 @@ GROUPS = {
     "ARCH": "arch",
     "FLOW": "flow",
     "DEAD": "dead",
+    "PERF": "perf",
+    "CONC": "conc",
     "SUP": "sup",
 }
 

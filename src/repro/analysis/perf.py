@@ -1,0 +1,604 @@
+"""Hot-path performance pass (``PERF*``), built on the dataflow engine.
+
+Four rules over per-function CFGs + the ndarray-typedness lattice:
+
+- ``PERF001`` — a Python ``for`` loop iterates element-wise over an
+  ndarray-typed value (directly, via ``range(len(a))`` / ``a.shape``,
+  via ``zip``/``enumerate`` of arrays, or over ``arr.tolist()``);
+- ``PERF002`` — ``list.append`` / scalar ``+=`` accumulation inside such
+  a loop: the loop body is a reduction or map that numpy expresses in
+  one vectorised op;
+- ``PERF003`` — allocation (`np.zeros`-family, ``dict()``/``list()``
+  constructors) inside a *hot* loop — nesting depth >= 2, or depth >= 1
+  when profiling marks the function hot; array-growth calls
+  (``np.concatenate``/``np.append``/``vstack``) are flagged in any loop
+  because repeated reallocation is quadratic;
+- ``PERF004`` — a call whose arguments are all loop-invariant (proven by
+  reaching definitions) to a resolved in-project function that is
+  shallowly pure and expensive enough to matter: hoist or memoise.
+
+Hotness is not guessed.  ``python -m repro.analysis --profile FILE``
+feeds cProfile JSON (as written by ``benchmarks/bench_trajectory.py
+--profile-out``) into :meth:`PerfChecker.set_profile`; findings inside
+profiled functions carry the measured cumulative seconds and PERF003
+widens from "nested loop" to "any loop in a hot function".
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Iterator
+
+from .cfg import CFG, Loop, shallow_exprs
+from .dataflow import (
+    ARRAY,
+    ArraySeeds,
+    NdarrayTypes,
+    ReachingDefinitions,
+    array_seeds,
+    build_cfg,
+    iter_functions,
+    stmt_defs,
+)
+from .findings import Finding
+from .modgraph import ModuleIndex, ModuleInfo, resolve_callee
+from .visitor import ProjectChecker
+
+__all__ = ["PerfChecker", "ProfileEntry", "load_profile_entries"]
+
+#: numpy calls that grow an array by copying — quadratic in any loop.
+_GROWTH_FUNCS = {"concatenate", "append", "vstack", "hstack", "stack"}
+
+#: numpy allocation calls worth hoisting out of nested/hot loops.
+_ALLOC_FUNCS = {
+    "zeros", "ones", "empty", "full", "array", "asarray", "arange",
+    "linspace", "tile", "repeat", "zeros_like", "ones_like", "empty_like",
+    "full_like",
+}
+
+#: builtin constructors that allocate a fresh container per iteration.
+_CTOR_FUNCS = {"dict", "list", "set"}
+
+#: callee names whose presence makes a function not shallowly pure.
+_IMPURE_CALLS = {
+    "print", "open", "input", "exec", "eval", "write", "append", "add",
+    "update", "extend", "pop", "setdefault", "remove", "discard", "clear",
+    "insort", "heappush", "heappop", "seed", "shuffle",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class ProfileEntry:
+    """One cProfile row ingested via ``--profile``."""
+
+    file: str
+    line: int
+    function: str
+    ncalls: int
+    cumtime_s: float
+
+
+def load_profile_entries(doc: dict) -> list[ProfileEntry]:
+    """Validate and convert a ``--profile`` JSON document."""
+    version = doc.get("schema_version")
+    if version != 1:
+        raise ValueError(f"unsupported profile schema_version {version!r}")
+    entries = []
+    for row in doc.get("entries", []):
+        entries.append(
+            ProfileEntry(
+                file=str(row["file"]),
+                line=int(row["line"]),
+                function=str(row["function"]),
+                ncalls=int(row.get("ncalls", 0)),
+                cumtime_s=float(row["cumtime_s"]),
+            )
+        )
+    return entries
+
+
+def _paths_match(finding_path: str, profile_file: str) -> bool:
+    a = finding_path.replace("\\", "/")
+    b = profile_file.replace("\\", "/")
+    return a.endswith(b) or b.endswith(a)
+
+
+class PerfChecker(ProjectChecker):
+    """Vectorisation and hoisting opportunities on measured hot paths."""
+
+    name = "perf"
+    codes = {
+        "PERF001": "python loop iterates element-wise over an ndarray",
+        "PERF002": "append/+= accumulation in an ndarray loop; use a "
+        "vectorised reduction",
+        "PERF003": "allocation or array-growth call inside a hot loop",
+        "PERF004": "loop-invariant call to a pure function; hoist or "
+        "memoise",
+    }
+
+    def __init__(self) -> None:
+        self._profile: list[ProfileEntry] = []
+
+    def set_profile(self, entries: list[ProfileEntry]) -> None:
+        """Attach measured hotness; cleared with an empty list."""
+        self._profile = list(entries)
+
+    # -- driver ----------------------------------------------------------
+
+    def check_project(self, index: ModuleIndex) -> Iterator[Finding]:
+        purity: dict[tuple[str, str], bool] = {}
+        for info in sorted(index.targets(), key=lambda m: m.name):
+            tree = info.source.tree
+            for qualname, func in sorted(
+                iter_functions(tree), key=lambda pair: pair[1].lineno
+            ):
+                if not any(
+                    isinstance(node, (ast.For, ast.While))
+                    for node in ast.walk(func)
+                ):
+                    continue
+                yield from self._check_function(
+                    index, info, qualname, func, purity
+                )
+
+    def _hot_cumtime(
+        self, path: str, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> float | None:
+        best: float | None = None
+        for entry in self._profile:
+            if entry.function != func.name:
+                continue
+            if not _paths_match(path, entry.file):
+                continue
+            if best is None or entry.cumtime_s > best:
+                best = entry.cumtime_s
+        return best
+
+    # -- per-function rules ----------------------------------------------
+
+    def _check_function(
+        self,
+        index: ModuleIndex,
+        info: ModuleInfo,
+        qualname: str,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        purity: dict[tuple[str, str], bool],
+    ) -> Iterator[Finding]:
+        cfg = build_cfg(func)
+        seeds = array_seeds(index, info, func)
+        types = NdarrayTypes(cfg, seeds)
+        rdefs = ReachingDefinitions(cfg)
+        path = info.source.path
+        cumtime = self._hot_cumtime(path, func)
+        hot_note = f" [hot: {cumtime:.3f}s cumulative]" if cumtime else ""
+
+        elementwise: list[Loop] = []
+        for loop in cfg.loops:
+            node = loop.node
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            bid, idx = cfg.location[id(node)]
+            env = types.env_before(bid, idx)
+            described = self._elementwise_iter(node.iter, types, env)
+            if described is None:
+                continue
+            elementwise.append(loop)
+            yield self.finding_at(
+                path,
+                node.lineno,
+                node.col_offset,
+                "PERF001",
+                f"loop in '{qualname}' iterates element-wise over "
+                f"{described}; replace with vectorised numpy ops"
+                f"{hot_note}",
+            )
+
+        yield from self._accumulations(
+            cfg, elementwise, path, qualname, hot_note
+        )
+        yield from self._allocations(
+            cfg,
+            seeds,
+            path,
+            qualname,
+            hot=cumtime is not None,
+            hot_note=hot_note,
+        )
+        yield from self._invariant_calls(
+            index, info, cfg, rdefs, purity, path, qualname, hot_note
+        )
+
+    # -- PERF001 ---------------------------------------------------------
+
+    def _elementwise_iter(
+        self, iter_expr: ast.expr, types: NdarrayTypes, env: dict[str, str]
+    ) -> str | None:
+        """Describe an element-wise ndarray iteration, or ``None``."""
+        if types.kind_of(iter_expr, env) == ARRAY:
+            return f"ndarray {_describe(iter_expr)}"
+        if not isinstance(iter_expr, ast.Call):
+            return None
+        func = iter_expr.func
+        if isinstance(func, ast.Name) and func.id == "range":
+            if len(iter_expr.args) == 3:
+                step = iter_expr.args[2]
+                if not (
+                    isinstance(step, ast.Constant) and step.value in (1, -1)
+                ):
+                    return None  # strided walk (batching), not element-wise
+            for arg in iter_expr.args:
+                target = _range_extent_array(arg, types, env)
+                if target is not None:
+                    return f"indices of ndarray {target}"
+            return None
+        if isinstance(func, ast.Name) and func.id in ("zip", "enumerate"):
+            for arg in iter_expr.args:
+                if types.kind_of(arg, env) == ARRAY:
+                    return f"ndarray {_describe(arg)} (via {func.id})"
+                if _is_tolist_of_array(arg, types, env):
+                    return (
+                        f"{_describe(arg)} (via {func.id}; tolist() of an "
+                        "ndarray)"
+                    )
+            return None
+        if isinstance(func, ast.Name) and func.id == "list":
+            if iter_expr.args and types.kind_of(
+                iter_expr.args[0], env
+            ) == ARRAY:
+                return f"list({_describe(iter_expr.args[0])})"
+            return None
+        if _is_tolist_of_array(iter_expr, types, env):
+            return f"{_describe(iter_expr)} (tolist() of an ndarray)"
+        return None
+
+    # -- PERF002 ---------------------------------------------------------
+
+    def _accumulations(
+        self,
+        cfg: CFG,
+        elementwise: list[Loop],
+        path: str,
+        qualname: str,
+        hot_note: str,
+    ) -> Iterator[Finding]:
+        for loop in elementwise:
+            targets = set(stmt_defs(loop.node))
+            for bid in sorted(loop.members):
+                block = cfg.blocks[bid]
+                for stmt in block.stmts:
+                    if stmt is loop.node:
+                        continue
+                    if (
+                        isinstance(stmt, ast.Expr)
+                        and isinstance(stmt.value, ast.Call)
+                        and isinstance(stmt.value.func, ast.Attribute)
+                        and stmt.value.func.attr == "append"
+                    ):
+                        yield self.finding_at(
+                            path,
+                            stmt.lineno,
+                            stmt.col_offset,
+                            "PERF002",
+                            f"'{_describe(stmt.value.func)}' inside the "
+                            f"element-wise ndarray loop in '{qualname}'; "
+                            "build the result with one vectorised "
+                            f"expression{hot_note}",
+                        )
+                    elif isinstance(stmt, ast.AugAssign) and isinstance(
+                        stmt.op, (ast.Add, ast.Sub, ast.Mult)
+                    ):
+                        if isinstance(stmt.target, ast.Name) and _mentions(
+                            stmt.value, targets
+                        ):
+                            yield self.finding_at(
+                                path,
+                                stmt.lineno,
+                                stmt.col_offset,
+                                "PERF002",
+                                f"scalar '{stmt.target.id} "
+                                f"{_AUG_OPS[type(stmt.op)]}= ...' "
+                                f"accumulation over ndarray elements in "
+                                f"'{qualname}'; use a numpy reduction "
+                                f"(sum/dot){hot_note}",
+                            )
+
+    # -- PERF003 ---------------------------------------------------------
+
+    def _allocations(
+        self,
+        cfg: CFG,
+        seeds: ArraySeeds,
+        path: str,
+        qualname: str,
+        hot: bool,
+        hot_note: str,
+    ) -> Iterator[Finding]:
+        numpy_aliases = seeds.numpy_aliases or frozenset({"np", "numpy"})
+        for block in cfg.blocks.values():
+            if block.loop_depth < 1:
+                continue
+            for stmt in block.stmts:
+                for expr in shallow_exprs(stmt):
+                    for node in ast.walk(expr):
+                        if not isinstance(node, ast.Call):
+                            continue
+                        kind = _alloc_kind(node, numpy_aliases)
+                        if kind is None:
+                            continue
+                        growth = kind in _GROWTH_FUNCS
+                        if not growth and block.loop_depth < 2 and not hot:
+                            continue
+                        what = (
+                            "array-growth call"
+                            if growth
+                            else "allocation"
+                        )
+                        where = (
+                            f"loop depth {block.loop_depth}"
+                            if not hot
+                            else f"hot loop (depth {block.loop_depth})"
+                        )
+                        yield self.finding_at(
+                            path,
+                            node.lineno,
+                            node.col_offset,
+                            "PERF003",
+                            f"{what} '{_describe(node.func)}(...)' inside "
+                            f"{where} of '{qualname}'; allocate once "
+                            f"outside the loop{hot_note}",
+                        )
+
+    # -- PERF004 ---------------------------------------------------------
+
+    def _invariant_calls(
+        self,
+        index: ModuleIndex,
+        info: ModuleInfo,
+        cfg: CFG,
+        rdefs: ReachingDefinitions,
+        purity: dict[tuple[str, str], bool],
+        path: str,
+        qualname: str,
+        hot_note: str,
+    ) -> Iterator[Finding]:
+        shadowed = _function_locals(cfg)
+        seen: set[int] = set()
+        for loop in cfg.loops:
+            for bid in sorted(loop.members):
+                block = cfg.blocks[bid]
+                for i, stmt in enumerate(block.stmts):
+                    if stmt is loop.node:
+                        continue  # the iterable is evaluated once
+                    for expr in shallow_exprs(stmt):
+                        for node, comp_bound in _calls_with_bound(expr):
+                            if id(node) in seen:
+                                continue
+                            resolved = resolve_callee(
+                                index, info, node.func, shadowed
+                            )
+                            if resolved is None:
+                                continue
+                            target_info, symbol = resolved
+                            target = symbol.node
+                            if not isinstance(
+                                target,
+                                (ast.FunctionDef, ast.AsyncFunctionDef),
+                            ):
+                                continue
+                            if target is cfg.func:
+                                continue  # recursion, not hoisting
+                            key = (target_info.name, symbol.name)
+                            if key not in purity:
+                                purity[key] = _shallow_pure(
+                                    target
+                                ) and _worth_hoisting(target)
+                            if not purity[key]:
+                                continue
+                            if not _args_invariant(
+                                node, rdefs, loop, bid, i, comp_bound
+                            ):
+                                continue
+                            seen.add(id(node))
+                            yield self.finding_at(
+                                path,
+                                node.lineno,
+                                node.col_offset,
+                                "PERF004",
+                                f"call to pure "
+                                f"'{target_info.name}.{symbol.name}' with "
+                                f"loop-invariant arguments inside the loop "
+                                f"in '{qualname}'; hoist it out or memoise"
+                                f"{hot_note}",
+                            )
+
+
+_AUG_OPS = {ast.Add: "+", ast.Sub: "-", ast.Mult: "*"}
+
+
+# -- helpers ---------------------------------------------------------------
+
+
+def _describe(expr: ast.AST) -> str:
+    try:
+        text = ast.unparse(expr)
+    except Exception:  # pragma: no cover - unparse is total on valid ASTs
+        return "<expression>"
+    return f"'{text[:37]}...'" if len(text) > 40 else f"'{text}'"
+
+
+def _range_extent_array(
+    arg: ast.expr, types: NdarrayTypes, env: dict[str, str]
+) -> str | None:
+    """``len(a)`` or ``a.shape[i]`` with ``a`` an array -> describe ``a``."""
+    if (
+        isinstance(arg, ast.Call)
+        and isinstance(arg.func, ast.Name)
+        and arg.func.id == "len"
+        and arg.args
+        and types.kind_of(arg.args[0], env) == ARRAY
+    ):
+        return _describe(arg.args[0])
+    if (
+        isinstance(arg, ast.Subscript)
+        and isinstance(arg.value, ast.Attribute)
+        and arg.value.attr == "shape"
+        and types.kind_of(arg.value.value, env) == ARRAY
+    ):
+        return _describe(arg.value.value)
+    return None
+
+
+def _is_tolist_of_array(
+    expr: ast.expr, types: NdarrayTypes, env: dict[str, str]
+) -> bool:
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == "tolist"
+        and types.kind_of(expr.func.value, env) == ARRAY
+    )
+
+
+def _mentions(expr: ast.AST, names: set[str]) -> bool:
+    return any(
+        isinstance(node, ast.Name) and node.id in names
+        for node in ast.walk(expr)
+    )
+
+
+def _alloc_kind(call: ast.Call, numpy_aliases: frozenset[str]) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        if func.value.id in numpy_aliases and func.attr in (
+            _ALLOC_FUNCS | _GROWTH_FUNCS
+        ):
+            return func.attr
+        return None
+    if isinstance(func, ast.Name) and func.id in _CTOR_FUNCS:
+        return func.id
+    return None
+
+
+def _function_locals(cfg: CFG) -> frozenset[str]:
+    """Parameter names + every name any block statement binds."""
+    names = {d.name for d in ReachingDefinitions(cfg).param_defs}
+    for block in cfg.blocks.values():
+        for stmt in block.stmts:
+            names.update(stmt_defs(stmt))
+    return frozenset(names)
+
+
+def _shallow_pure(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """No observable side effects at one level of inspection."""
+    for node in ast.walk(func):
+        if isinstance(
+            node,
+            (ast.Global, ast.Nonlocal, ast.Yield, ast.YieldFrom, ast.Await,
+             ast.Delete),
+        ):
+            return False
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    return False
+        if isinstance(node, ast.Call):
+            name = None
+            if isinstance(node.func, ast.Name):
+                name = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            if name in _IMPURE_CALLS:
+                return False
+            if name and ("random" in name or name == "default_rng"):
+                return False
+    return True
+
+
+def _worth_hoisting(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Expensive enough that a hoist/memoisation plausibly matters."""
+    if any(
+        isinstance(node, (ast.For, ast.While, ast.ListComp, ast.GeneratorExp))
+        for node in ast.walk(func)
+    ):
+        return True
+    return sum(1 for _ in ast.walk(func)) >= 40
+
+
+def _comp_target_names(target: ast.AST) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _comp_target_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _comp_target_names(target.value)
+
+
+def _calls_with_bound(
+    expr: ast.AST, bound: frozenset[str] = frozenset()
+) -> Iterator[tuple[ast.Call, frozenset[str]]]:
+    """Calls in ``expr``, each with the comprehension/lambda names in scope.
+
+    Those names are rebound every element, not every loop iteration, so
+    reaching definitions never sees them — without tracking them a call
+    like ``any(f(s) for s in xs)`` would look loop-invariant.
+    """
+    if isinstance(
+        expr, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+    ):
+        names = set(bound)
+        for gen in expr.generators:
+            names.update(_comp_target_names(gen.target))
+        bound = frozenset(names)
+    elif isinstance(expr, ast.Lambda):
+        args = expr.args
+        bound = bound | {
+            a.arg
+            for a in (
+                *args.posonlyargs,
+                *args.args,
+                *args.kwonlyargs,
+                *([args.vararg] if args.vararg else []),
+                *([args.kwarg] if args.kwarg else []),
+            )
+        }
+    if isinstance(expr, ast.Call):
+        yield expr, bound
+    for child in ast.iter_child_nodes(expr):
+        yield from _calls_with_bound(child, bound)
+
+
+def _args_invariant(
+    call: ast.Call,
+    rdefs: ReachingDefinitions,
+    loop: Loop,
+    bid: int,
+    stmt_index: int,
+    comp_bound: frozenset[str] = frozenset(),
+) -> bool:
+    """Every argument's value is provably the same on every iteration."""
+    exprs: list[ast.expr] = list(call.args)
+    for keyword in call.keywords:
+        exprs.append(keyword.value)
+    fact = rdefs.before(bid, stmt_index)
+    for expr in exprs:
+        if isinstance(expr, ast.Starred):
+            return False
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                return False  # nested call: value identity unknown
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id in comp_bound:
+                    return False  # rebound per comprehension element
+                # No local definition => a module global or builtin, which
+                # the loop body cannot rebind without a ``global`` stmt.
+                defs = rdefs.of(node.id, fact)
+                if any(d.block in loop.members for d in defs):
+                    return False
+    return True

@@ -22,7 +22,7 @@ from ..gemm.params import GemmParams
 from ..gemm.tiling import tile_gemm
 from ..schemes import ComputeScheme
 from ..unary.bitstream import Coding
-from ..unary.vectorized import hub_mac_row
+from ..unary.vectorized import hub_mac_tile
 from .config import ArrayConfig
 from .pe import make_pe
 
@@ -81,8 +81,6 @@ class UsystolicArray:
 
     def _unary_tile(self, w_tile: np.ndarray, x_tile: np.ndarray) -> np.ndarray:
         """Partial sums of one fold: rows share streams, columns reuse them."""
-        v, k = x_tile.shape
-        out = np.zeros((v, w_tile.shape[1]), dtype=np.float64)
         if self.config.scheme in (
             ComputeScheme.USYSTOLIC_RATE,
             ComputeScheme.USYSTOLIC_TEMPORAL,
@@ -92,21 +90,24 @@ class UsystolicArray:
                 if self.config.scheme is ComputeScheme.USYSTOLIC_RATE
                 else Coding.TEMPORAL
             )
-            for vec in range(v):
-                for r in range(k):
-                    out[vec] += hub_mac_row(
-                        int(x_tile[vec, r]),
-                        w_tile[r],
-                        self.config.bits,
-                        ebt=self.config.ebt,
-                        coding=coding,
-                    )
-        else:
-            for vec in range(v):
-                for r in range(k):
-                    x = int(x_tile[vec, r])
-                    for c in range(w_tile.shape[1]):
-                        out[vec, c] += self._pe.multiply(int(w_tile[r, c]), x)
+            # Whole fold in one count-table gather; byte-identical to the
+            # per-element HubMac chain (see repro.unary.vectorized).
+            return hub_mac_tile(
+                w_tile,
+                x_tile,
+                self.config.bits,
+                ebt=self.config.ebt,
+                coding=coding,
+            )
+        v, k = x_tile.shape
+        out = np.zeros((v, w_tile.shape[1]), dtype=np.float64)
+        # Generic schemes (uGEMM) run the bit-level PE object per element;
+        # that simulation is the model, so the scalar loop stays.
+        for vec in range(v):
+            for r in range(k):
+                x = int(x_tile[vec, r])
+                for c in range(w_tile.shape[1]):  # repro-lint: ignore[perf]
+                    out[vec, c] += self._pe.multiply(int(w_tile[r, c]), x)
         return out
 
     def _check_operand(self, arr: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:

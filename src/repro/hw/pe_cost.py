@@ -19,6 +19,8 @@ the architecture's scalability comes from (Section III-B).
 from __future__ import annotations
 
 import dataclasses
+import types
+from typing import Mapping
 
 from ..schemes import ComputeScheme
 from . import gates
@@ -48,7 +50,7 @@ class PeCost:
     wreg: float
     mul: float
     acc: float
-    activity: dict[str, float]
+    activity: Mapping[str, float]
 
     @property
     def total(self) -> float:
@@ -64,13 +66,23 @@ class PeCost:
 # an active cycle).  Binary multipliers glitch heavily; unary MUL blocks
 # only advance an RNG/comparator when enabled; registers toggle rarely once
 # weights are stationary.
-_ACT_BINARY = {"ireg": 0.10, "wreg": 0.02, "mul": 0.45, "acc": 0.30}
-_ACT_SERIAL = {"ireg": 0.10, "wreg": 0.02, "mul": 0.35, "acc": 0.35}
+#
+# Frozen (MappingProxyType): these are read from repro.jobs pool workers,
+# where any post-import mutation in the parent process would silently
+# diverge from the re-imported copy — immutability makes that impossible.
+_ACT_BINARY = types.MappingProxyType(
+    {"ireg": 0.10, "wreg": 0.02, "mul": 0.45, "acc": 0.30}
+)
+_ACT_SERIAL = types.MappingProxyType(
+    {"ireg": 0.10, "wreg": 0.02, "mul": 0.35, "acc": 0.35}
+)
 # Unary PEs toggle almost nothing per cycle: one AND/XNOR output, one
 # comparator bit, the IDFF/RREG shift and the OREG's low bits (an increment
 # flips ~2 flops on average).  This per-cycle stillness is what buys back
 # the 2**(n-1)x cycle count.
-_ACT_UNARY = {"ireg": 0.15, "wreg": 0.01, "mul": 0.05, "acc": 0.04}
+_ACT_UNARY = types.MappingProxyType(
+    {"ireg": 0.15, "wreg": 0.01, "mul": 0.05, "acc": 0.04}
+)
 
 
 def _bp(bits: int) -> PeCost:

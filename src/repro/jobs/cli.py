@@ -89,11 +89,12 @@ def build_grid(
 ) -> JobGraph:
     """The experiment DAG: one sim node per design, one dependent rollup."""
     graph = JobGraph()
+    sweep = scheme_sweep(bits)
     for workload in workloads:
         layers = _load_workload(workload)
         for platform_name in platforms:
             platform = _PLATFORMS[platform_name]
-            for design, scheme, ebt in scheme_sweep(bits):
+            for design, scheme, ebt in sweep:
                 array = platform.array(scheme, bits=bits, ebt=ebt)
                 memory = platform.memory_for(scheme)
                 sim = graph.add(

@@ -81,7 +81,14 @@ def canonical(obj: Any) -> Any:
             type(obj).__name__,
             [[name, canonical(getattr(obj, name))] for name in fields],
         ]
-    for cls, encode in _ENCODERS.items():
+    # Sorted by class name: the registry is a plain dict, so bare .items()
+    # order would follow register_encoder() call order — an import-order
+    # artifact.  When an object matches two registered classes (a subclass
+    # and its base), the winning encoder — and hence the fingerprint —
+    # must not depend on which module happened to register first.
+    for cls, encode in sorted(
+        _ENCODERS.items(), key=lambda kv: kv[0].__name__
+    ):
         if isinstance(obj, cls):
             return ["object", cls.__name__, canonical(encode(obj))]
     if isinstance(obj, (list, tuple)):

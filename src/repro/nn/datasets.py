@@ -71,7 +71,9 @@ def _render(
     size = protos.shape[1]
     x = np.empty((n, size, size, channels))
     num_classes = protos.shape[0]
-    for i, label in enumerate(labels):
+    # Per-image loop pins the RNG draw order; vectorising would reorder
+    # the stream and change every generated dataset byte.
+    for i, label in enumerate(labels):  # repro-lint: ignore[perf]
         img = protos[label].copy()
         if mix > 0:
             other = int(rng.integers(num_classes))

@@ -19,6 +19,8 @@ dropped + in flight) is asserted by the metrics collector at every event.
 
 from __future__ import annotations
 
+import bisect
+
 from .requests import Request
 
 __all__ = ["BoundedQueue", "FifoQueue", "DeadlineQueue", "make_queue"]
@@ -38,6 +40,9 @@ class BoundedQueue:
         self._items: list[Request] = []
         self.admitted = 0
         self.rejected = 0
+        #: queued requests carrying a deadline; lets :meth:`expire` skip
+        #: the scan entirely on deadline-free streams (the common case).
+        self._deadline_count = 0
 
     @staticmethod
     def _sort_key(request: Request) -> tuple:
@@ -53,9 +58,13 @@ class BoundedQueue:
         if len(self._items) >= self.capacity:
             self.rejected += 1
             return False
-        self._items.append(request)
-        self._items.sort(key=self._sort_key)
+        # Sort keys end in the unique req_id, so the sorted order is
+        # unique and a binary insertion lands exactly where the full
+        # re-sort used to put it — same order, O(log n) search.
+        bisect.insort(self._items, request, key=self._sort_key)
         self.admitted += 1
+        if request.deadline_s is not None:
+            self._deadline_count += 1
         return True
 
     def oldest(self) -> Request | None:
@@ -68,6 +77,8 @@ class BoundedQueue:
 
     def expire(self, now_s: float) -> list[Request]:
         """Remove and return every request whose deadline has passed."""
+        if not self._deadline_count:
+            return []
         expired = [
             r
             for r in self._items
@@ -76,6 +87,7 @@ class BoundedQueue:
         if expired:
             gone = {r.req_id for r in expired}
             self._items = [r for r in self._items if r.req_id not in gone]
+            self._deadline_count -= len(expired)
         return expired
 
     def take(self, max_count: int, workload: str | None = None) -> list[Request]:
@@ -98,6 +110,9 @@ class BoundedQueue:
             else:
                 rest.append(request)
         self._items = rest
+        self._deadline_count -= sum(
+            1 for r in taken if r.deadline_s is not None
+        )
         return taken
 
 

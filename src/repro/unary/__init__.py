@@ -33,7 +33,7 @@ from .mac import (
 )
 from .metrics import ErrorStats, error_stats, mae, rmse
 from .multiply import UmulResult, stream_for_input, umul_bipolar, umul_unipolar
-from .vectorized import hub_mac_row
+from .vectorized import hub_mac_row, hub_mac_tile
 from .rng import (
     CounterSequence,
     LfsrSequence,
@@ -76,6 +76,7 @@ __all__ = [
     "umul_bipolar",
     "umul_unipolar",
     "hub_mac_row",
+    "hub_mac_tile",
     "CounterSequence",
     "LfsrSequence",
     "NumberSequence",

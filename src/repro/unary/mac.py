@@ -181,6 +181,8 @@ def hub_dot(
         raise ValueError("weights and ifms must be equal-length vectors")
     mac = HubMac(bits, ebt=ebt, coding=coding)
     total = 0
-    for w, x in zip(weights.tolist(), ifms.tolist()):
+    # Scalar oracle: the element-at-a-time HubMac chain is the reference
+    # repro.verify diffs the vectorised kernels against — keep it naive.
+    for w, x in zip(weights.tolist(), ifms.tolist()):  # repro-lint: ignore[perf]
         total = mac.mac(int(w), int(x), total)
     return total

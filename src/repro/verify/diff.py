@@ -354,7 +354,9 @@ def _diff_functional(case: VerifyCase, out: _Collector) -> None:
         scale = 1 << (case.bits - 1)
         wmat = weight.reshape(params.oc, params.window).T
         expected = np.zeros((cols_mat.shape[0], params.oc), dtype=np.float64)
-        for v in range(cols_mat.shape[0]):
+        # Independent scalar oracle: deliberately not vectorised, so it
+        # cannot share a bug with the kernel under test.
+        for v in range(cols_mat.shape[0]):  # repro-lint: ignore[perf]
             for k in range(params.window):
                 x = int(cols_mat[v, k])
                 for c in range(params.oc):

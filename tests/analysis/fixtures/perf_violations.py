@@ -1,0 +1,89 @@
+"""Fixture: known hot-path performance violations (never imported).
+
+Line numbers are asserted by ``tests/analysis/test_perf_conc.py`` — keep
+the statements exactly where they are.
+"""
+
+import numpy as np
+
+__all__ = [
+    "scaled_copy",
+    "total",
+    "grown",
+    "nested_alloc",
+    "repeated_pure",
+    "suppressed_loop",
+    "batched_walk",
+    "vectorised_clean",
+]
+
+
+def scaled_copy(xs: np.ndarray) -> list:
+    """PERF001 on line 24 (range(len)); PERF002 on line 26 (append)."""
+    out = []
+    for i in range(len(xs)):  # line 24
+        # comment line keeps append off the loop header line
+        out.append(xs[i] * 2.0)  # line 26
+    return out
+
+
+def total(xs: np.ndarray) -> float:
+    """PERF001 on line 33 (direct iteration); PERF002 on line 34 (+=)."""
+    acc = 0.0
+    for x in xs:  # line 33
+        acc += x  # line 34
+    return acc
+
+
+def grown(n: int) -> np.ndarray:
+    """PERF003 on line 42: array growth in a (depth-1) loop."""
+    acc = np.zeros(1)
+    for _ in range(n):
+        acc = np.concatenate([acc, acc])  # line 42
+    return acc
+
+
+def nested_alloc(n: int) -> list:
+    """PERF003 on line 51: allocation at loop depth 2."""
+    rows = []
+    for _ in range(n):
+        for _ in range(n):
+            rows.append(np.zeros(4))  # line 51
+    return rows
+
+
+def _polynomial(k: int) -> int:
+    acc = 0
+    for i in range(k):
+        acc += i * i
+    return acc
+
+
+def repeated_pure(n: int) -> int:
+    """PERF004 on lines 66-67: loop-invariant calls to a pure local fn."""
+    s = 0
+    for _ in range(n):
+        s += _polynomial(32)  # line 66
+        s += _polynomial(n)  # invariant too: n is never rebound in the loop
+    return s
+
+
+def suppressed_loop(xs: np.ndarray) -> float:
+    """The suppression comment must silence the PERF001 on line 74."""
+    acc = 0.0
+    for x in xs:  # repro-lint: ignore[perf]
+        acc = acc + float(x)
+    return acc
+
+
+def batched_walk(xs: np.ndarray, batch: int) -> list:
+    """Clean: a strided range walks batches, not elements."""
+    out = []
+    for start in range(0, len(xs), batch):
+        out.append(xs[start : start + batch].sum())
+    return out
+
+
+def vectorised_clean(xs: np.ndarray) -> float:
+    """Clean: no Python-level element loop at all."""
+    return float((xs * 2.0).sum())

@@ -1,0 +1,198 @@
+"""PERF and CONC checkers against fixture files with known violations.
+
+Every assertion pins the finding *code* and *line* so a checker
+regression (wrong anchor, missed case, new false positive) fails loudly.
+The profile tests exercise the ``--profile`` path: measured-hot
+annotation, hotness ranking, and the schema-v3 JSON ``profile`` block.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze
+from repro.analysis.findings import Finding
+from repro.analysis.perf import ProfileEntry, load_profile_entries
+from repro.analysis.reporting import (
+    JSON_SCHEMA_VERSION,
+    rank_by_profile,
+    render_json,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _codes(name: str, select: list[str]) -> list[tuple[str, int]]:
+    result = analyze([FIXTURES / name], select=select)
+    assert result.files_scanned == 1
+    return [(f.code, f.line) for f in result.findings]
+
+
+class TestPerfFixture:
+    def test_expected_findings(self):
+        assert _codes("perf_violations.py", select=["perf"]) == [
+            ("PERF001", 24),  # range(len(xs)) walk in scaled_copy
+            ("PERF002", 26),  # out.append in the element-wise loop
+            ("PERF001", 33),  # direct ndarray iteration in total
+            ("PERF002", 34),  # scalar += reduction over elements
+            ("PERF003", 42),  # np.concatenate growth in a loop
+            ("PERF003", 51),  # np.zeros at loop depth 2
+            ("PERF004", 66),  # loop-invariant _polynomial(32)
+            ("PERF004", 67),  # loop-invariant _polynomial(n)
+        ]
+
+    def test_suppression_silences_loop(self):
+        codes_lines = _codes("perf_violations.py", select=["perf"])
+        assert ("PERF001", 74) not in codes_lines
+
+    def test_clean_functions_stay_clean(self):
+        # batched_walk (strided range) and vectorised_clean must not
+        # contribute findings: everything is pinned above.
+        lines = {line for _, line in _codes("perf_violations.py", ["perf"])}
+        assert all(line < 71 for line in lines)
+
+
+class TestConcFixture:
+    def test_expected_findings(self):
+        assert _codes("conc_violations.py", select=["conc"]) == [
+            ("CONC001", 36),  # sha256 over dict-iteration-ordered text
+            ("CONC001", 41),  # json.dumps(list(keys())) without sort_keys
+            ("CONC002", 47),  # default_rng seeded from time.time() via var
+            ("CONC002", 52),  # default_rng(time.time_ns()) directly
+            ("CONC003", 60),  # pool worker reads module-level mutable dict
+            ("CONC004", 79),  # += accumulation in as_completed order
+        ]
+
+    def test_suppression_silences_sink(self):
+        codes_lines = _codes("conc_violations.py", select=["conc"])
+        assert ("CONC001", 104) not in codes_lines
+
+    def test_sorted_variants_stay_clean(self):
+        # sorted_worker, sorted_digest, seeded_rng and stable_sum are the
+        # canonical fixes; they must not be flagged.
+        lines = {line for _, line in _codes("conc_violations.py", ["conc"])}
+        assert all(line < 83 for line in lines)
+
+
+def _profile_doc() -> dict:
+    return {
+        "schema_version": 1,
+        "entries": [
+            {
+                "file": "tests/analysis/fixtures/perf_violations.py",
+                "line": 21,  # def scaled_copy
+                "function": "scaled_copy",
+                "ncalls": 300,
+                "cumtime_s": 1.75,
+            },
+            {
+                "file": "tests/analysis/fixtures/perf_violations.py",
+                "line": 30,  # def total
+                "function": "total",
+                "ncalls": 10,
+                "cumtime_s": 0.25,
+            },
+        ],
+    }
+
+
+class TestProfileMode:
+    def test_load_profile_entries_validates_schema(self):
+        with pytest.raises(ValueError, match="schema_version"):
+            load_profile_entries({"schema_version": 99, "entries": []})
+
+    def test_load_profile_entries_parses_rows(self):
+        entries = load_profile_entries(_profile_doc())
+        assert entries[0] == ProfileEntry(
+            file="tests/analysis/fixtures/perf_violations.py",
+            line=21,
+            function="scaled_copy",
+            ncalls=300,
+            cumtime_s=1.75,
+        )
+
+    def test_hot_findings_are_annotated_and_ranked(self, tmp_path):
+        profile = tmp_path / "profile.json"
+        profile.write_text(json.dumps(_profile_doc()), encoding="utf-8")
+        result = analyze(
+            [FIXTURES / "perf_violations.py"],
+            select=["perf"],
+            profile=profile,
+        )
+        hot = {
+            f.line for f in result.findings if "[hot: 1.750s" in f.message
+        }
+        assert hot == {24, 26}, "scaled_copy findings carry its cumtime"
+
+        assert result.profile_rank is not None
+        path, ranked = result.profile_rank
+        assert path == str(profile)
+        # Hottest function's findings first; every profiled finding has a
+        # positive measured time.
+        times = [cumtime for _, cumtime in ranked]
+        assert times == sorted(times, reverse=True)
+        assert {(f.code, f.line) for f, _ in ranked} >= {
+            ("PERF001", 24),
+            ("PERF002", 26),
+            ("PERF001", 33),
+            ("PERF002", 34),
+        }
+
+    def test_rank_prefers_nearest_enclosing_def(self):
+        entries = load_profile_entries(_profile_doc())
+        finding = Finding(
+            path="tests/analysis/fixtures/perf_violations.py",
+            line=33,
+            col=4,
+            code="PERF001",
+            message="x",
+        )
+        ranked = rank_by_profile([finding], entries)
+        # Line 33 sits under ``def total`` (line 30), not scaled_copy.
+        assert ranked == [(finding, 0.25)]
+
+
+class TestSchemaV3:
+    def test_render_json_round_trips_with_profile(self, tmp_path):
+        profile = tmp_path / "profile.json"
+        profile.write_text(json.dumps(_profile_doc()), encoding="utf-8")
+        result = analyze(
+            [FIXTURES / "perf_violations.py"],
+            select=["perf"],
+            profile=profile,
+        )
+        doc = json.loads(
+            render_json(
+                result.findings,
+                result.files_scanned,
+                profile=result.profile_rank,
+            )
+        )
+        assert doc["schema_version"] == JSON_SCHEMA_VERSION == 3
+        assert doc["summary"]["by_group"] == {"perf": len(result.findings)}
+        parsed = [Finding.from_dict(row) for row in doc["findings"]]
+        assert parsed == sorted(result.findings)
+        assert doc["profile"]["path"] == str(profile)
+        ranked_rows = doc["profile"]["ranked"]
+        assert ranked_rows and all(
+            row["cumtime_s"] > 0 for row in ranked_rows
+        )
+        # Ranked rows are full finding dicts plus the measured time.
+        assert Finding.from_dict(
+            {k: v for k, v in ranked_rows[0].items() if k != "cumtime_s"}
+        ) in parsed
+
+
+def test_select_tokens_are_case_insensitive():
+    # The issue-facing invocation is `--select PERF,CONC`; group tokens
+    # must normalise regardless of case, codes too.
+    upper = _codes("perf_violations.py", select=["PERF"])
+    lower = _codes("perf_violations.py", select=["perf"])
+    assert upper == lower and upper
+    assert _codes("perf_violations.py", select=["perf001"]) == [
+        ("PERF001", 24),
+        ("PERF001", 33),
+    ]

@@ -165,3 +165,54 @@ class TestCanonicalForm:
     def test_nested_structures_round_trip_deterministically(self):
         doc = {"b": [ARRAY, PARAMS], "a": (1, 2.5, None, True)}
         assert canonical_json(doc) == canonical_json(doc)
+
+
+class TestEncoderRegistrationOrder:
+    def test_fingerprint_ignores_registration_order(self):
+        # The encoder registry is a plain dict; canonical() must not let
+        # register_encoder() call order (an import-order artifact) pick
+        # which encoder wins or change the emitted bytes.
+        from repro.jobs import keys as keys_mod
+
+        baseline = _key()
+        original = dict(keys_mod._ENCODERS)
+        try:
+            for ordering in (
+                reversed(list(original.items())),
+                sorted(original.items(), key=lambda kv: -len(kv[0].__name__)),
+            ):
+                keys_mod._ENCODERS.clear()
+                keys_mod._ENCODERS.update(ordering)
+                assert _key() == baseline
+        finally:
+            keys_mod._ENCODERS.clear()
+            keys_mod._ENCODERS.update(original)
+
+    def test_subclass_beats_registration_order(self):
+        # With both a subclass and its base registered, the winner is
+        # decided by class name — stable however registration happened.
+        from repro.jobs.keys import canonical_json, register_encoder
+        from repro.jobs import keys as keys_mod
+
+        class ANode(TechNode):
+            pass
+
+        node = ANode(
+            name="sub",
+            area_per_ge_um2=1.0,
+            leakage_per_ge_w=1e-9,
+            energy_per_toggle_j=1e-15,
+            frequency_hz=1e9,
+        )
+        original = dict(keys_mod._ENCODERS)
+        try:
+            register_encoder(ANode, lambda t: {"name": t.name})
+            first = canonical_json(node)
+            keys_mod._ENCODERS.clear()
+            keys_mod._ENCODERS.update(dict(reversed(list(original.items()))))
+            register_encoder(ANode, lambda t: {"name": t.name})
+            assert canonical_json(node) == first
+            assert '"ANode"' in first  # the subclass encoder won
+        finally:
+            keys_mod._ENCODERS.clear()
+            keys_mod._ENCODERS.update(original)

@@ -236,3 +236,28 @@ def test_different_seeds_differ():
         return _executor(model=StubModel(runtime_s=0.02)).run(arrivals)
 
     assert run(0).ledger_text() != run(1).ledger_text()
+
+
+def test_arrival_list_order_does_not_change_the_ledger():
+    # The executor sorts pending arrivals by (arrival_s, req_id): handing
+    # it the same requests in any insertion order must produce the exact
+    # same ledger bytes.
+    import random
+
+    arrivals = poisson_arrivals(
+        "net", rate_per_s=80, horizon_s=0.4, seed=42, slo_s=0.1
+    )
+
+    def run(order):
+        return _executor(
+            model=StubModel(runtime_s=0.02),
+            queue=make_queue("deadline", 32),
+            batcher=make_batcher("dynamic", 4, max_wait_s=0.01),
+            slo_s=0.1,
+        ).run(order)
+
+    baseline = run(list(arrivals)).ledger_text()
+    for seed in (0, 1, 2):
+        shuffled = list(arrivals)
+        random.Random(seed).shuffle(shuffled)
+        assert run(shuffled).ledger_text() == baseline

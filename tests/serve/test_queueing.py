@@ -68,3 +68,35 @@ def test_make_queue_and_validation():
         FifoQueue(capacity=0)
     with pytest.raises(ValueError):
         FifoQueue(capacity=4).take(0)
+
+
+def test_expire_fast_path_without_deadlines():
+    q = DeadlineQueue(capacity=8)
+    for i in range(4):
+        q.push(_req(i, 0.1 * i))
+    # No queued request carries a deadline: expire must be a no-op.
+    assert q._deadline_count == 0
+    assert q.expire(100.0) == []
+    assert q.depth == 4
+
+
+def test_deadline_count_tracks_push_expire_take():
+    q = DeadlineQueue(capacity=8)
+    q.push(_req(0, 0.0, deadline=1.0))
+    q.push(_req(1, 0.0))
+    q.push(_req(2, 0.0, deadline=5.0))
+    assert q._deadline_count == 2
+    expired = q.expire(2.0)
+    assert [r.req_id for r in expired] == [0]
+    assert q._deadline_count == 1
+    taken = q.take(q.depth)
+    assert {r.req_id for r in taken} == {1, 2}
+    assert q._deadline_count == 0
+
+
+def test_insort_keeps_equal_urgency_in_id_order():
+    q = DeadlineQueue(capacity=8)
+    q.push(_req(5, 0.0, deadline=1.0))
+    q.push(_req(1, 0.0, deadline=1.0))
+    q.push(_req(3, 0.0, deadline=1.0))
+    assert [r.req_id for r in q.peek_all()] == [1, 3, 5]

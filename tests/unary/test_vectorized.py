@@ -16,7 +16,12 @@ import pytest
 from repro.unary import vectorized
 from repro.unary.bitstream import Coding
 from repro.unary.mac import HubMac
-from repro.unary.vectorized import _SEQ_CACHE_MAX, _seq_cache, hub_mac_row
+from repro.unary.vectorized import (
+    _SEQ_CACHE_MAX,
+    _seq_cache,
+    hub_mac_row,
+    hub_mac_tile,
+)
 
 
 def _reference_row(ifm, weights, bits, ebt, coding):
@@ -116,3 +121,100 @@ class TestSeqCache:
         # come back; the only shared state is the threading.local holder.
         assert not hasattr(vectorized, "_SEQ_CACHE")
         assert isinstance(vectorized._SEQ_CACHE_LOCAL, threading.local)
+
+
+def _reference_tile(w_tile, x_tile, bits, ebt, coding):
+    """Accumulate hub_mac_row over the K rows — the pre-table semantics."""
+    out = np.zeros((x_tile.shape[0], w_tile.shape[1]))
+    for vec in range(x_tile.shape[0]):
+        for r in range(w_tile.shape[0]):
+            out[vec] += hub_mac_row(
+                int(x_tile[vec, r]), w_tile[r], bits, ebt=ebt, coding=coding
+            )
+    return out
+
+
+def _random_tiles(bits, v, k, c, seed=11):
+    rng = np.random.default_rng(seed)
+    limit = (1 << (bits - 1)) - 1
+    w_tile = rng.integers(-limit, limit + 1, size=(k, c))
+    x_tile = rng.integers(-limit, limit + 1, size=(v, k))
+    return w_tile, x_tile
+
+
+class TestTileEquivalence:
+    @pytest.mark.parametrize(
+        "bits,ebt,coding",
+        [
+            (8, None, Coding.RATE),
+            (8, 6, Coding.RATE),
+            (8, 4, Coding.RATE),
+            (6, None, Coding.TEMPORAL),
+            (4, 2, Coding.RATE),
+        ],
+    )
+    def test_matches_row_accumulation(self, bits, ebt, coding):
+        w_tile, x_tile = _random_tiles(bits, v=5, k=4, c=3)
+        tile = hub_mac_tile(w_tile, x_tile, bits, ebt=ebt, coding=coding)
+        reference = _reference_tile(w_tile, x_tile, bits, ebt, coding)
+        assert np.array_equal(tile, reference), "must be byte-identical"
+
+    def test_matches_scalar_hubmac_chain(self):
+        bits, ebt = 8, 6
+        w_tile, x_tile = _random_tiles(bits, v=3, k=3, c=2, seed=23)
+        tile = hub_mac_tile(w_tile, x_tile, bits, ebt=ebt)
+        scale = 1 << (bits - 1)
+        for vec in range(3):
+            for col in range(2):
+                mac = HubMac(bits, ebt=ebt)
+                total = 0.0
+                for r in range(3):
+                    total += (
+                        mac.multiply(
+                            int(w_tile[r, col]), int(x_tile[vec, r])
+                        ).product
+                        * scale
+                    )
+                assert tile[vec, col] == total
+
+    def test_count_table_matches_closed_form(self):
+        # The replayed stream walk must agree with the analytic table the
+        # nn layer uses (T[a, b] = #{k < a : S_k < b}); the C-BSG only
+        # advances on enabled cycles, so both codings see the same draws.
+        from repro.nn.quant import usystolic_count_table
+
+        for mag_bits in (2, 3, 5):
+            closed = usystolic_count_table(mag_bits)
+            closed = closed[: 1 << mag_bits, : 1 << mag_bits]
+            for coding in (Coding.RATE, Coding.TEMPORAL):
+                table = vectorized._count_table(coding, mag_bits)
+                assert np.array_equal(table, closed)
+
+    def test_chunked_gather_is_byte_identical(self, monkeypatch):
+        bits = 8
+        w_tile, x_tile = _random_tiles(bits, v=9, k=4, c=3, seed=5)
+        whole = hub_mac_tile(w_tile, x_tile, bits)
+        monkeypatch.setattr(vectorized, "_TILE_CHUNK_ELEMS", 8)
+        chunked = hub_mac_tile(w_tile, x_tile, bits)
+        assert np.array_equal(whole, chunked)
+
+    def test_wide_magnitudes_fall_back_to_row_path(self, monkeypatch):
+        # Force the fallback at a cheap width and check it still matches.
+        monkeypatch.setattr(vectorized, "_TABLE_MAX_MAG_BITS", 2)
+        bits = 6
+        w_tile, x_tile = _random_tiles(bits, v=2, k=3, c=2, seed=3)
+        tile = hub_mac_tile(w_tile, x_tile, bits)
+        assert np.array_equal(
+            tile, _reference_tile(w_tile, x_tile, bits, None, Coding.RATE)
+        )
+
+    def test_validation(self):
+        w_tile, x_tile = _random_tiles(8, v=2, k=3, c=2)
+        with pytest.raises(ValueError, match="incompatible tile shapes"):
+            hub_mac_tile(w_tile, x_tile[:, :2], 8)
+        with pytest.raises(ValueError, match="ebt must be in"):
+            hub_mac_tile(w_tile, x_tile, 8, ebt=1)
+        with pytest.raises(ValueError, match="no early termination"):
+            hub_mac_tile(w_tile, x_tile, 8, ebt=4, coding=Coding.TEMPORAL)
+        with pytest.raises(ValueError, match="sign-magnitude"):
+            hub_mac_tile(w_tile, x_tile, 4)
