@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test verify fuzz bench eval serve all
+.PHONY: lint test verify fuzz bench eval serve fleet all
 
 lint:
 	$(PYTHON) -m repro.analysis --baseline analysis-baseline.json
@@ -24,5 +24,8 @@ eval:
 serve:
 	$(PYTHON) -m repro.serve --workload alexnet --rate 200 \
 		--policy dynamic --slo-ms 50
+
+fleet:
+	$(PYTHON) -m repro.fleet --capacity
 
 all: lint test

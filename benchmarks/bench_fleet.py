@@ -1,0 +1,75 @@
+"""Fleet-level serving: capacity planning across heterogeneous pools.
+
+The paper's single-array energy story, asked the way a datacenter buys
+hardware: at a fixed p99 SLO, how many requests per second does each
+watt deliver when the fleet is built from binary-parallel versus HUB
+rate versus HUB temporal pools?  The capacity grid sweeps fleet sizes at
+per-instance-constant offered load; the replay benchmark pushes a flash
+crowd through an autoscaled heterogeneous fleet to exercise routing,
+scaling and the canonical ledger merge in one run.
+"""
+
+from conftest import once
+
+from repro.eval.capacity import format_capacity, run_capacity_planning
+from repro.fleet import (
+    AutoscaleConfig,
+    FleetConfig,
+    flash_crowd_arrivals,
+    pool_presets,
+    run_fleet,
+)
+
+
+def test_capacity_grid(benchmark, emit):
+    def run():
+        return format_capacity(
+            run_capacity_planning(
+                fleet_sizes=(1, 2, 4),
+                rate_per_instance_per_s=40.0,
+                horizon_s=0.5,
+                slo_s=0.1,
+                seed=0,
+            )
+        )
+
+    table = once(benchmark, run)
+    emit(table)
+
+
+def test_autoscaled_flash_crowd(benchmark, emit):
+    """A spike against a heterogeneous autoscaled fleet, sharded 2 ways."""
+    presets = pool_presets()
+    config = FleetConfig(
+        pools=(
+            presets["binary-cloud"].sized(2),
+            presets["hub-rate-cloud"].sized(2),
+        ),
+        router="slo-energy",
+        seed=0,
+        slo_s=0.1,
+        autoscale=AutoscaleConfig(interval_s=0.02, high_watermark=4.0),
+    )
+    arrivals = flash_crowd_arrivals(
+        "alexnet",
+        base_rate_per_s=40.0,
+        spike_rate_per_s=400.0,
+        spike_start_s=0.2,
+        spike_duration_s=0.2,
+        horizon_s=0.8,
+        seed=0,
+        slo_s=0.1,
+    )
+
+    def run():
+        ledger = run_fleet(config, arrivals, shards=2, workers=1)
+        s = ledger.summary()
+        return (
+            f"flash crowd over {s['instances']:.0f} instances: "
+            f"{s['arrivals']:.0f} arrivals, {s['completed']:.0f} served, "
+            f"p99 {s['p99_latency_s'] * 1e3:.1f} ms, "
+            f"SLO {100 * s['slo_attainment']:.1f}%, "
+            f"{s['goodput_per_s_per_w']:.1f} req/s/W"
+        )
+
+    emit(once(benchmark, run))

@@ -12,6 +12,9 @@ ROADMAP names:
   per wall second through ``UsystolicArray.execute``);
 - **serve** — the discrete-event serving loop (``requests_per_s`` =
   completed requests per wall second at an overload arrival rate);
+- **fleet** — the datacenter-scale fleet simulator (``requests_per_s``
+  = requests pushed through a sharded heterogeneous autoscaled fleet
+  per wall second, including the canonical ledger merge);
 - **verify** — differential fuzzing (``execs_per_s`` = fuzz cases
   executed per wall second, seeded).
 
@@ -74,6 +77,7 @@ SEED = 0
 AREAS = {
     "sim": ("BENCH_sim.json", "cycles_per_s"),
     "serve": ("BENCH_serve.json", "requests_per_s"),
+    "fleet": ("BENCH_fleet.json", "requests_per_s"),
     "verify": ("BENCH_verify.json", "execs_per_s"),
 }
 
@@ -161,6 +165,45 @@ def bench_serve(quick: bool = False) -> dict:
     }
 
 
+def bench_fleet(quick: bool = False) -> dict:
+    """Sharded heterogeneous fleet throughput, merge included."""
+    from repro.fleet import (  # noqa: E402 (fleet sits above the eager imports)
+        AutoscaleConfig,
+        FleetConfig,
+        piecewise_poisson_arrivals,
+        pool_presets,
+        run_fleet,
+    )
+
+    presets = pool_presets()
+    config = FleetConfig(
+        pools=(
+            presets["binary-cloud"].sized(2),
+            presets["hub-rate-cloud"].sized(2),
+        ),
+        router="slo-energy",
+        seed=SEED,
+        slo_s=0.1,
+        autoscale=AutoscaleConfig(interval_s=0.02, high_watermark=4.0),
+    )
+    horizon_s = 1.0 if quick else 4.0
+    arrivals = piecewise_poisson_arrivals(
+        "alexnet", [(horizon_s, 400.0)], seed=SEED, slo_s=0.1
+    )
+    start = time.perf_counter()
+    ledger = run_fleet(config, arrivals, shards=2, workers=1)
+    wall_s = time.perf_counter() - start
+    summary = ledger.summary()
+    return {
+        "requests_per_s": len(arrivals) / wall_s,
+        "completed_per_s": summary["completed"] / wall_s,
+        "arrivals": len(arrivals),
+        "completed": summary["completed"],
+        "instances": summary["instances"],
+        "fleet_wall_s": wall_s,
+    }
+
+
 def bench_verify(quick: bool = False) -> dict:
     """Seeded differential-fuzz execution throughput (no cache, no disk)."""
     budget = 20 if quick else 60
@@ -179,7 +222,12 @@ def bench_verify(quick: bool = False) -> dict:
     }
 
 
-_RUNNERS = {"sim": bench_sim, "serve": bench_serve, "verify": bench_verify}
+_RUNNERS = {
+    "sim": bench_sim,
+    "serve": bench_serve,
+    "fleet": bench_fleet,
+    "verify": bench_verify,
+}
 
 
 # ----------------------------------------------------------------------
@@ -269,7 +317,7 @@ def profile_to_json(stats: pstats.Stats, top: int = 80) -> dict:
 def main(argv: list[str] | None = None) -> int:
     """Run the micro-benchmarks; 0 ok, 1 regression gate failure."""
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument("--areas", default="sim,serve,verify")
+    parser.add_argument("--areas", default="sim,serve,fleet,verify")
     parser.add_argument("--out-dir", default=str(REPO_ROOT))
     parser.add_argument("--label", default="unlabelled run")
     parser.add_argument(

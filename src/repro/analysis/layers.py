@@ -76,6 +76,12 @@ LAYERS: tuple[tuple[str, tuple[str, ...], str], ...] = (
         "over the batched cost model",
     ),
     (
+        "fleet",
+        ("fleet",),
+        "datacenter-scale serving: heterogeneous pools, seeded load "
+        "balancing, autoscaling, sharded fleet simulation",
+    ),
+    (
         "apps",
         ("eval", "system", "verify"),
         "per-figure pipelines, system models, differential verification",

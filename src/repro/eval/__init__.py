@@ -25,6 +25,11 @@ from .energy import (
     reduction_stats,
     run_energy_experiment,
 )
+from .capacity import (
+    CapacityPoint,
+    format_capacity,
+    run_capacity_planning,
+)
 from .claims import ClaimResult, format_scorecard, run_claims
 from .figures import line_chart, log_bar_chart
 from .pareto import DesignPoint, design_space, format_pareto, pareto_frontier
@@ -84,6 +89,9 @@ __all__ = [
     "design_space",
     "format_pareto",
     "pareto_frontier",
+    "CapacityPoint",
+    "format_capacity",
+    "run_capacity_planning",
     "ClaimResult",
     "format_scorecard",
     "run_claims",

@@ -1,0 +1,264 @@
+"""The fleet simulator: one deterministic event loop over many executors.
+
+:class:`FleetSimulator` composes pool-built
+:class:`~repro.fleet.instance.Instance` objects under a single global
+clock.  Each iteration finds the earliest pending event among
+
+1. per-instance internal events (batch completions, batching-window
+   expiries) — processed first, in canonical ``(pool, instance_id)``
+   order, so routers observe post-completion queue depths;
+2. the next request arrival — routed by the configured load balancer
+   and offered to exactly one instance;
+3. the next autoscaler control tick — processed last, so scaling reacts
+   to the state the tick's arrivals produced.
+
+Equal-time events resolve in that fixed order and arrivals tie-break by
+``req_id`` (the same discipline as
+:class:`~repro.serve.executor.ServeExecutor.run`), making the whole run
+a pure function of ``(config, arrival stream)``: two same-seed runs
+produce byte-identical :class:`~repro.fleet.ledger.FleetLedger`
+documents.
+
+Once the arrival stream is exhausted the fleet drains: every advance
+passes ``draining=True`` so partial batches flush, and the loop ends
+when no instance holds work.  Instances draining for the *autoscaler*
+stop themselves the moment their backlog empties; everything still
+running at the end is finalized at the global end time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..analysis.contracts import require
+from ..jobs.store import ResultStore
+from ..serve.requests import Request
+from .autoscale import AutoscaleConfig, plan_scaling
+from .instance import Instance, InstanceState
+from .ledger import FleetLedger, InstanceLedger
+from .pools import PoolConfig, build_cost_model, build_executor
+from .routing import make_router
+
+__all__ = ["FleetConfig", "FleetSimulator", "simulate_fleet"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetConfig:
+    """One fleet: its pools, router, SLO and (optional) autoscaler."""
+
+    pools: tuple[PoolConfig, ...]
+    router: str = "jsq"
+    seed: int = 0
+    slo_s: float | None = None
+    autoscale: AutoscaleConfig | None = None
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> "FleetConfig":
+        """Contract check: raise ``ValueError`` on any impossible field."""
+        require(
+            len(self.pools) >= 1,
+            "FleetConfig",
+            "pools",
+            "needs at least one pool",
+        )
+        names = [pool.name for pool in self.pools]
+        require(
+            len(set(names)) == len(names),
+            "FleetConfig",
+            "pools",
+            f"pool names must be unique, got {names}",
+        )
+        require(
+            self.slo_s is None or self.slo_s > 0,
+            "FleetConfig",
+            "slo_s",
+            f"must be positive, got {self.slo_s}",
+        )
+        return self
+
+    @property
+    def total_instances(self) -> int:
+        """Initial fleet size across pools."""
+        return sum(pool.instances for pool in self.pools)
+
+
+class FleetSimulator:
+    """Deterministic discrete-event simulation of one fleet."""
+
+    def __init__(
+        self,
+        config: FleetConfig,
+        shard: int = 0,
+        store: ResultStore | None = None,
+    ) -> None:
+        self.config = config
+        self.shard = shard
+        self.router = make_router(config.router, seed=config.seed + shard)
+        #: pool name -> shared cost model (read-only memo, one per pool).
+        self.models = {
+            pool.name: build_cost_model(pool, store=store)
+            for pool in config.pools
+        }
+        self._pool_configs = {pool.name: pool for pool in config.pools}
+        self._next_id = {pool.name: 0 for pool in config.pools}
+        #: every instance ever spawned, including stopped ones.
+        self.instances: list[Instance] = []
+        for pool in config.pools:
+            for _ in range(pool.instances):
+                self._spawn(pool.name, 0.0)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, pool_name: str, now_s: float) -> Instance:
+        pool = self._pool_configs[pool_name]
+        instance = Instance(
+            pool=pool_name,
+            instance_id=self._next_id[pool_name],
+            executor=build_executor(
+                pool, self.models[pool_name], slo_s=self.config.slo_s
+            ),
+            model=self.models[pool_name],
+            spawned_s=now_s,
+        )
+        self._next_id[pool_name] += 1
+        self.instances.append(instance)
+        self.instances.sort(key=lambda inst: inst.key)
+        return instance
+
+    def _live(self) -> list[Instance]:
+        return [
+            inst
+            for inst in self.instances
+            if inst.state is not InstanceState.STOPPED
+        ]
+
+    def _routable(self) -> list[Instance]:
+        return [inst for inst in self.instances if inst.routable]
+
+    def _apply_scaling(self, now_s: float) -> None:
+        pools: dict[str, list[Instance]] = {
+            name: [] for name in self._pool_configs
+        }
+        for inst in self.instances:
+            pools[inst.pool].append(inst)
+        limits = {
+            name: (pool.min_instances, pool.max_instances)
+            for name, pool in self._pool_configs.items()
+        }
+        for action in plan_scaling(
+            self.config.autoscale, pools, limits, now_s
+        ):
+            if action.verb == "spawn":
+                self._spawn(action.pool, now_s)
+            else:
+                for inst in pools[action.pool]:
+                    if inst.instance_id == action.instance_id:
+                        inst.begin_drain(now_s)
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+    def run(self, arrivals: list[Request]) -> FleetLedger:
+        """Serve ``arrivals`` to exhaustion; return the merged ledger."""
+        pending = sorted(arrivals, key=lambda r: (r.arrival_s, r.req_id))
+        now_s = 0.0
+        i = 0
+        autoscale = self.config.autoscale
+        next_tick_s = autoscale.interval_s if autoscale is not None else math.inf
+
+        while True:
+            live = self._live()
+            draining = i >= len(pending)
+            next_arrival_s = (
+                pending[i].arrival_s if i < len(pending) else math.inf
+            )
+            next_instance_s = min(
+                (inst.next_event_s(now_s) for inst in live),
+                default=math.inf,
+            )
+            candidates = [next_arrival_s, next_instance_s]
+            if not draining or any(inst.backlog for inst in live):
+                candidates.append(next_tick_s)
+            event_s = min(candidates)
+
+            if event_s == math.inf:
+                backlog = sum(inst.backlog for inst in live)
+                if backlog:
+                    for inst in live:
+                        inst.advance(now_s, draining=True)
+                    if sum(i2.backlog for i2 in self._live()) < backlog or any(
+                        inst.executor.in_service_count
+                        for inst in self._live()
+                    ):
+                        continue
+                break
+
+            now_s = max(now_s, event_s)
+            # 1. internal events: completions, window expiries, dispatch.
+            for inst in live:
+                inst.advance(now_s, draining=draining)
+            # 2. arrivals: route each request at its own timestamp.
+            while i < len(pending) and pending[i].arrival_s <= now_s:
+                request = pending[i]
+                i += 1
+                targets = self._routable()
+                if not targets:
+                    raise RuntimeError(
+                        f"no routable instance for request {request.req_id}; "
+                        "pools must keep min_instances >= 1 active"
+                    )
+                self.router.route(request, targets, now_s).offer(
+                    request, now_s
+                )
+            draining = i >= len(pending)
+            for inst in self._live():
+                inst.advance(now_s, draining=draining)
+            # 3. control tick.
+            if autoscale is not None and now_s >= next_tick_s:
+                self._apply_scaling(now_s)
+                while next_tick_s <= now_s:
+                    next_tick_s += autoscale.interval_s
+
+        # A policy that refuses to drain strands its queue; account for it
+        # (mirrors ServeExecutor.run's stranded-queue accounting).
+        for inst in self._live():
+            depth = inst.executor.queue.depth
+            if depth:
+                for request in inst.executor.queue.take(depth):
+                    inst.metrics.observe_drop(request, now_s)
+        # Close every window; stopped instances keep their earlier close.
+        for inst in self.instances:
+            if inst.state is not InstanceState.STOPPED:
+                inst.metrics.finalize(now_s)
+            inst.metrics.assert_conserved(
+                inst.executor.queue.depth, inst.executor.in_service_count
+            )
+        return FleetLedger(
+            instances=[
+                InstanceLedger(
+                    shard=self.shard,
+                    pool=inst.pool,
+                    instance_id=inst.instance_id,
+                    spawned_s=inst.spawned_s,
+                    stopped_s=inst.stopped_s,
+                    metrics=inst.metrics,
+                )
+                for inst in self.instances
+            ],
+            makespan_s=now_s,
+            slo_s=self.config.slo_s,
+        )
+
+
+def simulate_fleet(
+    config: FleetConfig,
+    arrivals: list[Request],
+    shard: int = 0,
+    store: ResultStore | None = None,
+) -> FleetLedger:
+    """Build and run one fleet over one arrival stream."""
+    return FleetSimulator(config, shard=shard, store=store).run(arrivals)

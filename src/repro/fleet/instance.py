@@ -1,0 +1,136 @@
+"""One serving instance inside a fleet: executor + ledger + lifecycle.
+
+An :class:`Instance` wraps a :class:`~repro.serve.executor.ServeExecutor`
+and its :class:`~repro.serve.metrics.ServeMetrics` ledger, and adds the
+lifecycle the autoscaler drives:
+
+``ACTIVE``
+    routable; serves whatever the load balancer sends it.
+``DRAINING``
+    removed from the routable set; keeps serving its queue (partial
+    batches flush, exactly like the end-of-trace drain) until empty,
+    then stops.
+``STOPPED``
+    window closed (``metrics.finalize`` at the stop time); contributes
+    its ledger to the merged fleet ledger but no further events.
+
+The fleet simulator owns the clock; an instance only ever moves through
+:meth:`offer` (a routed arrival), :meth:`advance` (process everything
+due at the global event time) and :meth:`begin_drain`/:meth:`stop`.
+Per-request service/energy estimates — used by the SLO/energy-aware
+router — are computed once from the pool's shared cost model at
+construction, so routing is O(instances) arithmetic, not simulation.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+from ..serve.costs import NetworkCostModel
+from ..serve.executor import ServeExecutor
+from ..serve.metrics import ServeMetrics
+from ..serve.requests import Request, RequestStatus
+
+__all__ = ["Instance", "InstanceState"]
+
+
+class InstanceState(enum.Enum):
+    """Lifecycle phase of one fleet instance."""
+
+    ACTIVE = "active"
+    DRAINING = "draining"
+    STOPPED = "stopped"
+
+
+class Instance:
+    """One executor-backed server inside a pool."""
+
+    def __init__(
+        self,
+        pool: str,
+        instance_id: int,
+        executor: ServeExecutor,
+        model: NetworkCostModel,
+        spawned_s: float = 0.0,
+    ) -> None:
+        self.pool = pool
+        self.instance_id = instance_id
+        self.executor = executor
+        self.metrics = ServeMetrics(slo_s=executor.slo_s)
+        self.state = InstanceState.ACTIVE
+        self.spawned_s = spawned_s
+        self.stopped_s: float | None = None
+        cost = model.batch_cost(1)
+        #: cost of one unbatched request, the router's scoring inputs.
+        self.service_estimate_s = cost.runtime_s
+        self.energy_estimate_j = cost.energy_j
+        #: completed-record scan frontier for O(1)-amortised energy reads.
+        self._energy_j = 0.0
+        self._scanned_records = 0
+
+    @property
+    def key(self) -> tuple[str, int]:
+        """Canonical identity: ``(pool name, instance id)``."""
+        return (self.pool, self.instance_id)
+
+    @property
+    def routable(self) -> bool:
+        """May the load balancer send this instance new requests?"""
+        return self.state is InstanceState.ACTIVE and not self.executor.halted
+
+    @property
+    def backlog(self) -> int:
+        """Queued plus in-service requests (the JSQ signal)."""
+        if self.state is InstanceState.STOPPED:
+            return 0
+        return self.executor.backlog
+
+    def energy_j(self) -> float:
+        """Energy of all requests completed so far (autoscaler power input)."""
+        records = self.metrics.records
+        for record in records[self._scanned_records:]:
+            if record.status is RequestStatus.COMPLETED:
+                self._energy_j += record.energy_j
+        self._scanned_records = len(records)
+        return self._energy_j
+
+    def next_event_s(self, now_s: float) -> float:
+        """Earliest internal event (completion / batch wake), else ``inf``."""
+        if self.state is InstanceState.STOPPED:
+            return math.inf
+        return self.executor.next_event_s(now_s)
+
+    def offer(self, request: Request, now_s: float) -> None:
+        """Accept one routed request at ``now_s``."""
+        if not self.routable:
+            raise RuntimeError(
+                f"instance {self.key} is {self.state.value}; the router "
+                "must only target routable instances"
+            )
+        self.executor.offer(request, now_s, self.metrics)
+
+    def advance(self, now_s: float, draining: bool = False) -> None:
+        """Process everything due at ``now_s``; stop when a drain empties."""
+        if self.state is InstanceState.STOPPED:
+            return
+        self.executor.advance(
+            now_s,
+            self.metrics,
+            draining=draining or self.state is InstanceState.DRAINING,
+        )
+        if self.state is InstanceState.DRAINING and self.executor.backlog == 0:
+            self.stop(now_s)
+
+    def begin_drain(self, now_s: float) -> None:
+        """Leave the routable set; stop once the backlog is served."""
+        if self.state is InstanceState.ACTIVE:
+            self.state = InstanceState.DRAINING
+            self.advance(now_s)
+
+    def stop(self, now_s: float) -> None:
+        """Close this instance's observation window."""
+        if self.state is not InstanceState.STOPPED:
+            self.state = InstanceState.STOPPED
+            self.stopped_s = now_s
+            self.metrics.finalize(now_s)

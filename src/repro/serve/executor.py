@@ -198,6 +198,88 @@ class ServeExecutor:
         self._service_energy_j = cost.energy_j
         return True
 
+    # ------------------------------------------------------------------
+    # instance lifecycle hooks (repro.fleet)
+    # ------------------------------------------------------------------
+    # ``run()`` owns the clock for the single-server case; a cluster
+    # simulator owns a *global* clock instead and steps many executors
+    # through it.  These hooks expose the same three primitives the run
+    # loop is built from — completion, expiry/admission, dispatch — so a
+    # fleet instance advances exactly like a slice of ``run()`` would,
+    # event ordering included (completion -> expiry -> admission ->
+    # dispatch at equal times).
+
+    @property
+    def halted(self) -> bool:
+        """True once a failed battery draw has killed this server."""
+        return self._halted
+
+    @property
+    def in_service_count(self) -> int:
+        """Requests occupying the array right now (0 when idle)."""
+        return len(self._in_service)
+
+    @property
+    def backlog(self) -> int:
+        """Queued plus in-service requests (the load balancer's signal)."""
+        return self.queue.depth + len(self._in_service)
+
+    def next_event_s(self, now_s: float) -> float:
+        """Earliest internal event after ``now_s``: completion or wake.
+
+        ``math.inf`` when only an external event (a routed arrival or a
+        draining flush) can change this executor's state.
+        """
+        if self._in_service:
+            return self._service_done_s
+        if not self._halted and self.queue.depth:
+            wake_s = self.batcher.next_wake_s(self.queue, now_s)
+            if wake_s is not None and wake_s > now_s:
+                return wake_s
+        return math.inf
+
+    def offer(
+        self, request: Request, now_s: float, metrics: ServeMetrics
+    ) -> None:
+        """Route one request to this executor at ``now_s`` (fleet hook).
+
+        Deadline expiry runs first — exactly as ``run()`` expires before
+        admitting — so a full queue sheds dead requests before rejecting
+        a live one.
+        """
+        if request.workload not in self.models:
+            raise ValueError(
+                f"request {request.req_id} wants workload "
+                f"{request.workload!r} but no cost model is registered "
+                f"(have {sorted(self.models)})"
+            )
+        for expired in self.queue.expire(now_s):
+            metrics.observe_drop(expired, now_s)
+        self._admit(request, now_s, metrics)
+
+    def advance(
+        self,
+        now_s: float,
+        metrics: ServeMetrics,
+        draining: bool = False,
+    ) -> None:
+        """Process everything due at ``now_s``: completion, expiry, dispatch.
+
+        Idempotent at a fixed instant, so a cluster loop may advance an
+        instance, route arrivals into it, and advance it again within one
+        global event time without double-counting anything.
+        """
+        if self._service_done_s <= now_s:
+            self._complete(now_s, metrics)
+        for expired in self.queue.expire(now_s):
+            metrics.observe_drop(expired, now_s)
+        if self._halted and self.queue.depth:
+            for request in self.queue.take(self.queue.depth):
+                metrics.observe_drop(request, now_s)
+        if not self._in_service and not self._halted:
+            self._dispatch(now_s, metrics, draining=draining)
+        metrics.assert_conserved(self.queue.depth, len(self._in_service))
+
     def _complete(self, now_s: float, metrics: ServeMetrics) -> None:
         batch_size = len(self._in_service)
         energy_share_j = self._service_energy_j / batch_size

@@ -32,7 +32,13 @@ __all__ = ["ServeMetrics", "percentile"]
 
 
 def percentile(sorted_values: list[float], q: float) -> float:
-    """Nearest-rank percentile of pre-sorted values (0 < q <= 1)."""
+    """Nearest-rank percentile of pre-sorted values (0 < q <= 1).
+
+    An empty input returns 0.0 for any ``q`` — the defined value for a
+    zero-completed-request window (an idle pool instance during
+    autoscale-down has a ledger but no completions), so summary rows
+    never raise on empty slices.
+    """
     if not sorted_values:
         return 0.0
     if not 0.0 < q <= 1.0:
@@ -149,8 +155,15 @@ class ServeMetrics:
         )
 
     def finalize(self, now_s: float) -> None:
-        """Close the observation window at the last event time."""
-        self._advance(now_s)
+        """Close the observation window at ``max(now_s, last event time)``.
+
+        Clamping (instead of raising) makes finalization safe for idle
+        and already-stopped instances: a fleet closes every instance's
+        window at the global end time, and an instance whose own last
+        event is later — it was finalized when it stopped — keeps its
+        window rather than failing the time-order check.
+        """
+        self._advance(max(now_s, self._last_event_s))
 
     def assert_conserved(self, queued: int, in_service: int) -> None:
         """Raise unless admitted = completed + dropped + in flight."""

@@ -1,0 +1,81 @@
+"""The capacity-planning eval: grid shape, headline metric, determinism."""
+
+import pytest
+
+from repro.eval.capacity import (
+    DEFAULT_FLEET_SIZES,
+    DEFAULT_POOLS,
+    CapacityPoint,
+    format_capacity,
+    run_capacity_planning,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_capacity_planning(
+        pools=("binary-cloud", "hub-rate-cloud"),
+        fleet_sizes=(1, 2),
+        rate_per_instance_per_s=40.0,
+        horizon_s=0.3,
+        slo_s=0.1,
+        seed=0,
+    )
+
+
+def test_grid_covers_pools_by_sizes(points):
+    assert len(points) == 4
+    assert [(p.pool, p.fleet_size) for p in points] == [
+        ("binary-cloud", 1),
+        ("binary-cloud", 2),
+        ("hub-rate-cloud", 1),
+        ("hub-rate-cloud", 2),
+    ]
+    for p in points:
+        assert isinstance(p, CapacityPoint)
+        assert p.rate_per_s == pytest.approx(40.0 * p.fleet_size)
+        assert p.summary["arrivals"] > 0
+        assert p.goodput_per_s_per_w >= 0.0
+        assert p.meets_slo == (p.summary["p99_latency_s"] <= p.slo_s)
+
+
+def test_rate_coding_wins_requests_per_watt(points):
+    """The paper's capacity headline: HUB rate serves more per watt."""
+    by_pool = {}
+    for p in points:
+        if p.meets_slo:
+            by_pool.setdefault(p.pool, []).append(p.goodput_per_s_per_w)
+    if "binary-cloud" in by_pool and "hub-rate-cloud" in by_pool:
+        assert max(by_pool["hub-rate-cloud"]) > max(by_pool["binary-cloud"])
+
+
+def test_workers_never_change_the_grid(points):
+    again = run_capacity_planning(
+        pools=("binary-cloud", "hub-rate-cloud"),
+        fleet_sizes=(1, 2),
+        rate_per_instance_per_s=40.0,
+        horizon_s=0.3,
+        slo_s=0.1,
+        seed=0,
+        workers=2,
+    )
+    assert [p.summary for p in again] == [p.summary for p in points]
+
+
+def test_format_capacity_renders_the_table(points):
+    text = format_capacity(points)
+    assert "req/s/W" in text
+    assert "binary-cloud" in text
+    assert "100 ms" in text
+    assert format_capacity([]) == ""
+
+
+def test_unknown_pool_is_rejected():
+    with pytest.raises(ValueError, match="unknown pool"):
+        run_capacity_planning(pools=("warp-core",), fleet_sizes=(1,))
+
+
+def test_defaults_span_the_three_schemes():
+    assert len(DEFAULT_POOLS) == 3
+    assert len(DEFAULT_FLEET_SIZES) >= 3
+    assert {p.split("-")[0] for p in DEFAULT_POOLS} == {"binary", "hub"}

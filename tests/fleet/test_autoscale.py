@@ -1,0 +1,108 @@
+"""The threshold autoscaler: pure decisions over observable fleet state."""
+
+import dataclasses
+
+import pytest
+
+from repro.fleet.autoscale import AutoscaleConfig, ScaleAction, plan_scaling
+from repro.fleet.instance import InstanceState
+
+
+class StubInstance:
+    """Just the attributes the planner reads."""
+
+    def __init__(self, instance_id, backlog=0, energy=0.0, state=InstanceState.ACTIVE):
+        self.instance_id = instance_id
+        self.backlog = backlog
+        self.state = state
+        self._energy = energy
+
+    def energy_j(self):
+        return self._energy
+
+
+@pytest.mark.parametrize(
+    "field, value",
+    [
+        ("interval_s", 0.0),
+        ("high_watermark", 0.5),  # below low_watermark default
+        ("low_watermark", -1.0),
+        ("power_cap_w", 0.0),
+    ],
+)
+def test_impossible_autoscale_configs_raise(field, value):
+    with pytest.raises(ValueError):
+        dataclasses.replace(AutoscaleConfig(), **{field: value})
+
+
+def test_high_backlog_spawns_one_instance():
+    config = AutoscaleConfig(high_watermark=4.0, low_watermark=1.0)
+    pools = {"p": [StubInstance(0, backlog=10)]}
+    actions = plan_scaling(config, pools, {"p": (1, 4)}, now_s=1.0)
+    assert actions == [ScaleAction(pool="p", verb="spawn")]
+
+
+def test_spawn_respects_max_instances():
+    config = AutoscaleConfig(high_watermark=4.0)
+    pools = {"p": [StubInstance(0, backlog=10), StubInstance(1, backlog=10)]}
+    assert plan_scaling(config, pools, {"p": (1, 2)}, now_s=1.0) == []
+
+
+def test_low_backlog_drains_the_youngest():
+    config = AutoscaleConfig(high_watermark=4.0, low_watermark=1.0)
+    pools = {"p": [StubInstance(0), StubInstance(1), StubInstance(2)]}
+    actions = plan_scaling(config, pools, {"p": (1, 4)}, now_s=1.0)
+    assert actions == [ScaleAction(pool="p", verb="drain", instance_id=2)]
+
+
+def test_drain_respects_min_instances():
+    config = AutoscaleConfig(low_watermark=1.0)
+    pools = {"p": [StubInstance(0)]}
+    assert plan_scaling(config, pools, {"p": (1, 4)}, now_s=1.0) == []
+
+
+def test_hysteresis_band_is_quiet():
+    config = AutoscaleConfig(high_watermark=8.0, low_watermark=1.0)
+    pools = {"p": [StubInstance(0, backlog=4), StubInstance(1, backlog=4)]}
+    assert plan_scaling(config, pools, {"p": (1, 4)}, now_s=1.0) == []
+
+
+def test_power_cap_vetoes_spawns_and_sheds_load():
+    # 10 J over 1 s = 10 W, cap at 5 W: no spawn despite the backlog,
+    # and the hungriest pool drains its youngest instead.
+    config = AutoscaleConfig(high_watermark=1.0, low_watermark=0.5, power_cap_w=5.0)
+    pools = {
+        "hot": [StubInstance(0, backlog=10, energy=8.0), StubInstance(1, backlog=10, energy=2.0)],
+        "cool": [StubInstance(0, backlog=10, energy=0.0)],
+    }
+    limits = {"hot": (1, 8), "cool": (1, 8)}
+    actions = plan_scaling(config, pools, limits, now_s=1.0)
+    assert actions == [ScaleAction(pool="hot", verb="drain", instance_id=1)]
+
+
+def test_power_cap_drain_respects_min_instances():
+    config = AutoscaleConfig(
+        high_watermark=1.0, low_watermark=0.5, power_cap_w=5.0
+    )
+    pools = {"hot": [StubInstance(0, backlog=10, energy=10.0)]}
+    assert plan_scaling(config, pools, {"hot": (1, 8)}, now_s=1.0) == []
+
+
+def test_draining_instances_are_not_counted_as_active():
+    config = AutoscaleConfig(high_watermark=4.0, low_watermark=1.0)
+    pools = {
+        "p": [
+            StubInstance(0, backlog=10),
+            StubInstance(1, backlog=0, state=InstanceState.DRAINING),
+        ]
+    }
+    # One active instance with backlog 10 -> spawn (the drainer is ignored).
+    actions = plan_scaling(config, pools, {"p": (1, 4)}, now_s=1.0)
+    assert actions == [ScaleAction(pool="p", verb="spawn")]
+
+
+def test_zero_time_power_is_zero():
+    config = AutoscaleConfig(power_cap_w=1e-9)
+    pools = {"p": [StubInstance(0, backlog=0, energy=100.0)]}
+    # At t=0 average power is defined as 0, so the cap cannot trip.
+    assert plan_scaling(config, pools, {"p": (1, 4)}, now_s=0.0) == []

@@ -1,0 +1,100 @@
+"""Pool specs: validation contracts, presets, and serve-object builders."""
+
+import dataclasses
+
+import pytest
+
+from repro.fleet.pools import (
+    PoolConfig,
+    build_cost_model,
+    build_executor,
+    pool_presets,
+    workload_layers,
+)
+from repro.schemes import ComputeScheme
+from repro.workloads.presets import CLOUD, EDGE
+
+
+def test_presets_cover_the_capacity_design_space():
+    presets = pool_presets()
+    schemes = {p.scheme for p in presets.values()}
+    assert schemes == {
+        ComputeScheme.BINARY_PARALLEL,
+        ComputeScheme.USYSTOLIC_RATE,
+        ComputeScheme.USYSTOLIC_TEMPORAL,
+    }
+    assert {p.platform for p in presets.values()} == {"edge", "cloud"}
+    # Every preset validates and is named after its key.
+    for name, preset in presets.items():
+        assert preset.name == name
+        assert preset.validate() is preset
+    # Fresh objects per call: mutating one call's dict is safe.
+    assert pool_presets() is not pool_presets()
+
+
+def test_rate_presets_carry_the_paper_ebt():
+    presets = pool_presets()
+    assert presets["hub-rate-edge"].ebt == 6
+    assert presets["hub-temporal-edge"].ebt is None
+
+
+@pytest.mark.parametrize(
+    "field, value",
+    [
+        ("name", ""),
+        ("platform", "laptop"),
+        ("instances", 0),
+        ("min_instances", 0),
+        ("min_instances", 9),  # > max_instances (8)
+        ("instances", 100),  # > max_instances
+        ("max_wait_s", -1.0),
+        ("power_cap_w", 0.0),
+    ],
+)
+def test_impossible_pool_configs_raise(field, value):
+    base = pool_presets()["binary-edge"]
+    with pytest.raises(ValueError):
+        dataclasses.replace(base, **{field: value})
+
+
+def test_sized_widens_the_bounds_to_fit():
+    pool = pool_presets()["binary-edge"]
+    grown = pool.sized(32)
+    assert grown.instances == 32
+    assert grown.max_instances == 32
+    shrunk = pool.sized(1)
+    assert shrunk.instances == 1
+    assert shrunk.min_instances == 1
+    # Both still satisfy the validation contract.
+    grown.validate()
+    shrunk.validate()
+
+
+def test_platform_preset_maps_names_to_platforms():
+    assert pool_presets()["binary-edge"].platform_preset() is EDGE
+    assert pool_presets()["binary-cloud"].platform_preset() is CLOUD
+
+
+def test_workload_layers_known_and_unknown():
+    assert len(workload_layers("alexnet")) > 0
+    with pytest.raises(ValueError, match="unknown workload"):
+        workload_layers("nonexistent-net")
+
+
+def test_build_cost_model_reflects_the_scheme():
+    presets = pool_presets()
+    binary = build_cost_model(presets["binary-edge"])
+    rate = build_cost_model(presets["hub-rate-edge"])
+    # Unary rate coding is slower per request on the edge array.
+    assert rate.batch_cost(1).runtime_s > binary.batch_cost(1).runtime_s
+
+
+def test_build_executor_registers_the_workload():
+    pool = pool_presets()["binary-edge"]
+    model = build_cost_model(pool)
+    executor = build_executor(pool, model, slo_s=0.5)
+    assert executor.slo_s == 0.5
+    assert pool.workload in executor.models
+    # A fresh executor is idle and routable-shaped.
+    assert executor.backlog == 0
+    assert not executor.halted

@@ -1,0 +1,105 @@
+"""Load balancers: policy behaviour and determinism, on stub instances."""
+
+import pytest
+
+from repro.fleet.routing import (
+    ROUTER_NAMES,
+    JoinShortestQueueRouter,
+    PowerOfTwoRouter,
+    RoundRobinRouter,
+    SloEnergyRouter,
+    make_router,
+)
+from repro.serve.requests import Request
+
+
+class StubInstance:
+    """Just the attributes a router reads."""
+
+    def __init__(self, pool, instance_id, backlog=0, service_s=0.1, energy_j=1.0):
+        self.pool = pool
+        self.instance_id = instance_id
+        self.backlog = backlog
+        self.service_estimate_s = service_s
+        self.energy_estimate_j = energy_j
+
+    @property
+    def key(self):
+        return (self.pool, self.instance_id)
+
+
+def _request(deadline_s=None):
+    return Request(
+        req_id=0, workload="alexnet", arrival_s=0.0, deadline_s=deadline_s
+    )
+
+
+def test_round_robin_cycles_in_canonical_order():
+    router = RoundRobinRouter()
+    instances = [StubInstance("a", i) for i in range(3)]
+    picks = [router.route(_request(), instances, 0.0).instance_id for _ in range(6)]
+    assert picks == [0, 1, 2, 0, 1, 2]
+
+
+def test_jsq_picks_minimum_backlog_with_canonical_ties():
+    router = JoinShortestQueueRouter()
+    instances = [
+        StubInstance("a", 0, backlog=5),
+        StubInstance("a", 1, backlog=2),
+        StubInstance("b", 0, backlog=2),
+    ]
+    # backlog ties broken by (pool, id): ("a", 1) < ("b", 0).
+    assert router.route(_request(), instances, 0.0).key == ("a", 1)
+
+
+def test_power_of_two_is_seeded_and_deterministic():
+    instances = [StubInstance("a", i, backlog=i) for i in range(8)]
+    picks_a = [
+        PowerOfTwoRouter(seed=7).route(_request(), instances, 0.0).instance_id
+        for _ in range(1)
+    ]
+    router_b = PowerOfTwoRouter(seed=7)
+    picks_b = [router_b.route(_request(), instances, 0.0).instance_id]
+    assert picks_a == picks_b
+    # With one instance there is nothing to sample.
+    only = [StubInstance("a", 0)]
+    assert PowerOfTwoRouter(seed=0).route(_request(), only, 0.0) is only[0]
+
+
+def test_power_of_two_never_picks_the_more_loaded_of_its_pair():
+    instances = [
+        StubInstance("a", 0, backlog=100),
+        StubInstance("a", 1, backlog=0),
+    ]
+    router = PowerOfTwoRouter(seed=3)
+    for _ in range(10):
+        assert router.route(_request(), instances, 0.0).instance_id == 1
+
+
+def test_slo_energy_prefers_cheap_feasible_instances():
+    router = SloEnergyRouter()
+    fast_hot = StubInstance("binary", 0, service_s=0.01, energy_j=10.0)
+    slow_cool = StubInstance("unary", 0, service_s=0.05, energy_j=1.0)
+    # Loose deadline: both feasible, energy decides -> unary.
+    chosen = router.route(_request(deadline_s=1.0), [fast_hot, slow_cool], 0.0)
+    assert chosen is slow_cool
+    # Tight deadline: only the fast pool can meet it.
+    chosen = router.route(_request(deadline_s=0.02), [fast_hot, slow_cool], 0.0)
+    assert chosen is fast_hot
+
+
+def test_slo_energy_falls_back_to_earliest_finish_when_all_late():
+    router = SloEnergyRouter()
+    a = StubInstance("a", 0, backlog=10, service_s=0.1)
+    b = StubInstance("b", 0, backlog=1, service_s=0.1)
+    chosen = router.route(_request(deadline_s=0.01), [a, b], 0.0)
+    assert chosen is b
+    # No deadline at all: same earliest-finish rule.
+    assert router.route(_request(), [a, b], 0.0) is b
+
+
+def test_make_router_builds_every_registered_name():
+    for name in ROUTER_NAMES:
+        assert make_router(name, seed=1) is not None
+    with pytest.raises(ValueError, match="unknown router"):
+        make_router("random")

@@ -78,3 +78,38 @@ def test_ledger_round_trip_preserves_everything():
 def test_slo_validation():
     with pytest.raises(ValueError):
         ServeMetrics(slo_s=0.0)
+
+
+def test_zero_completed_window_summary_is_defined():
+    """An idle pool instance (autoscale-down) has a ledger but no events.
+
+    Every summary statistic must come back as a defined value — no
+    ZeroDivisionError, no empty-percentile raise.
+    """
+    m = ServeMetrics(slo_s=0.1)
+    m.finalize(0.0)
+    s = m.summary()
+    assert s["completed"] == 0.0
+    assert s["p50_latency_s"] == 0.0
+    assert s["p99_latency_s"] == 0.0
+    assert s["goodput_per_s"] == 0.0
+    assert s["energy_per_request_j"] == 0.0
+    assert s["slo_attainment"] == 0.0
+    assert s["utilization"] == 0.0
+    assert m.mean_in_system == 0.0
+    # The empty-slice contract holds for any quantile.
+    for q in (0.01, 0.5, 0.95, 0.99, 1.0):
+        assert percentile([], q) == 0.0
+    # And the ledger still round-trips.
+    assert ServeMetrics.from_json(m.to_json()).summary() == s
+
+
+def test_finalize_clamps_to_the_last_event():
+    """Closing an already-closed window must not violate time order."""
+    m = ServeMetrics()
+    m.observe_admit(_req(0, 0.0), 0.0)
+    m.observe_dispatch(1, 1.0, 0.0)
+    m.observe_complete(_req(0, 0.0), 2.0, 1, 0.1)
+    m.finalize(2.0)
+    m.finalize(1.0)  # a fleet closing instance windows at an earlier tick
+    assert m.makespan_s == 2.0
