@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test verify fuzz bench eval serve fleet all
+.PHONY: lint test verify fuzz fuzz-array bench eval serve fleet all
 
 lint:
 	$(PYTHON) -m repro.analysis --baseline analysis-baseline.json
@@ -14,6 +14,9 @@ verify:
 
 fuzz:
 	$(PYTHON) -m repro.verify fuzz --seed 0 --budget 200
+
+fuzz-array:
+	$(PYTHON) -m repro.verify fuzz --seed 1 --budget 40 --engine array
 
 bench:
 	$(PYTHON) benchmarks/bench_trajectory.py --check

@@ -10,6 +10,9 @@ ROADMAP names:
   compute cycles per wall second over the AlexNet network) plus the
   functional HUB kernel (``kernel_macs_per_s`` = bit-true MACs executed
   per wall second through ``UsystolicArray.execute``);
+- **arraysim** — the stepped full-array co-simulator
+  (``pe_cycles_per_s`` = PE-cycles of stepped occupancy per wall second,
+  AlexNet Conv1 on a 32x32 array at wave granularity);
 - **serve** — the discrete-event serving loop (``requests_per_s`` =
   completed requests per wall second at an overload arrival rate);
 - **fleet** — the datacenter-scale fleet simulator (``requests_per_s``
@@ -63,6 +66,7 @@ from repro.serve.batching import make_batcher  # noqa: E402
 from repro.serve.costs import NetworkCostModel  # noqa: E402
 from repro.serve.executor import ServeExecutor  # noqa: E402
 from repro.serve.queueing import make_queue  # noqa: E402
+from repro.sim.arraysim import simulate_array  # noqa: E402
 from repro.sim.engine import simulate_network  # noqa: E402
 from repro.verify.fuzz import run_fuzz  # noqa: E402
 from repro.workloads.alexnet import alexnet_layers  # noqa: E402
@@ -76,6 +80,7 @@ SEED = 0
 #: area -> (output file, headline metric gated by --check).
 AREAS = {
     "sim": ("BENCH_sim.json", "cycles_per_s"),
+    "arraysim": ("BENCH_arraysim.json", "pe_cycles_per_s"),
     "serve": ("BENCH_serve.json", "requests_per_s"),
     "fleet": ("BENCH_fleet.json", "requests_per_s"),
     "verify": ("BENCH_verify.json", "execs_per_s"),
@@ -133,6 +138,40 @@ def bench_sim(quick: bool = False) -> dict:
         "sim_wall_s": sim_wall_s,
         "kernel_macs_per_s": kernel_macs / kernel_wall_s,
         "kernel_wall_s": kernel_wall_s,
+    }
+
+
+def bench_arraysim(quick: bool = False) -> dict:
+    """Stepped full-array co-simulation throughput (wave granularity).
+
+    The headline is PE-cycles of stepped occupancy per wall second: the
+    full run covers AlexNet Conv1 on a 32x32 bit-parallel array (36
+    folds, ~105M MACs), the configuration the verify suite's three-way
+    differential also exercises.
+    """
+    if quick:
+        params = GemmParams(
+            "bench-array", ih=28, iw=28, ic=8, wh=3, ww=3, oc=32, stride=1
+        )
+    else:
+        params = next(l for l in alexnet_layers() if l.name == "Conv1")
+    config = ArrayConfig(
+        rows=32, cols=32, scheme=ComputeScheme.BINARY_PARALLEL, bits=8
+    )
+    rng = np.random.default_rng(SEED)
+    weight = rng.integers(
+        -127, 128, size=(params.oc, params.wh, params.ww, params.ic)
+    )
+    ifm = rng.integers(-127, 128, size=(params.ih, params.iw, params.ic))
+    start = time.perf_counter()
+    result = simulate_array(params, config, weight, ifm, granularity="wave")
+    wall_s = time.perf_counter() - start
+    return {
+        "pe_cycles_per_s": result.pe_busy_cycles / wall_s,
+        "pe_busy_cycles": result.pe_busy_cycles,
+        "compute_cycles": result.compute_cycles,
+        "folds": result.num_folds,
+        "arraysim_wall_s": wall_s,
     }
 
 
@@ -224,6 +263,7 @@ def bench_verify(quick: bool = False) -> dict:
 
 _RUNNERS = {
     "sim": bench_sim,
+    "arraysim": bench_arraysim,
     "serve": bench_serve,
     "fleet": bench_fleet,
     "verify": bench_verify,
@@ -317,7 +357,7 @@ def profile_to_json(stats: pstats.Stats, top: int = 80) -> dict:
 def main(argv: list[str] | None = None) -> int:
     """Run the micro-benchmarks; 0 ok, 1 regression gate failure."""
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument("--areas", default="sim,serve,fleet,verify")
+    parser.add_argument("--areas", default="sim,arraysim,serve,fleet,verify")
     parser.add_argument("--out-dir", default=str(REPO_ROOT))
     parser.add_argument("--label", default="unlabelled run")
     parser.add_argument(

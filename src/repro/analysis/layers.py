@@ -62,7 +62,7 @@ LAYERS: tuple[tuple[str, tuple[str, ...], str], ...] = (
     (
         "sim",
         ("sim",),
-        "fold schedule, traffic, contention engine, trace generation",
+        "fold schedule, traffic, contention engine, trace generation, stepped full-array co-simulation",
     ),
     (
         "orchestration",

@@ -17,10 +17,13 @@ from __future__ import annotations
 
 import abc
 
+import numpy as np
+
 from ..schemes import ComputeScheme, scheme_mac_cycles
 from ..unary.bitstream import Coding, quantize_bipolar
 from ..unary.mac import HubMac
 from ..unary.multiply import umul_bipolar
+from ..unary.vectorized import hub_product_counts
 
 __all__ = ["PeModel", "BinaryPe", "UsystolicPe", "UgemmHPe", "make_pe"]
 
@@ -40,6 +43,30 @@ class PeModel(abc.ABC):
         """Multiply then binary-accumulate (the accumulation is exact)."""
         return partial + self.multiply(weight, ifm)
 
+    def fold_products(
+        self, weights: np.ndarray, vectors: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        """Per-PE product planes of one fold: ``(V, R, C)`` plus a scale.
+
+        ``products[v, r, c] * scale`` is exactly :meth:`multiply` of
+        ``(weights[r, c], vectors[v, r])`` — the value PE(r, c) lands into
+        the column partial sum when its MAC for vector ``v`` completes.
+        The base implementation walks the scalar PE model element by
+        element (the truth source for exotic schemes); subclasses override
+        it with whole-plane kernels proven bit-identical.
+        """
+        weights = np.asarray(weights, dtype=np.int64)
+        vectors = np.asarray(vectors, dtype=np.int64)
+        nvec, rows = vectors.shape
+        cols = weights.shape[1]
+        out = np.zeros((nvec, rows, cols), dtype=np.float64)
+        for v in range(nvec):
+            for r in range(rows):
+                x = int(vectors[v, r])
+                for c in range(cols):
+                    out[v, r, c] = self.multiply(int(weights[r, c]), x)
+        return out, 1.0
+
 
 class BinaryPe(PeModel):
     """Exact binary MAC — both the parallel and serial variants.
@@ -56,6 +83,14 @@ class BinaryPe(PeModel):
 
     def multiply(self, weight: int, ifm: int) -> float:
         return float(weight * ifm)
+
+    def fold_products(
+        self, weights: np.ndarray, vectors: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        """Exact binary planes: one broadcast outer product, scale 1."""
+        weights = np.asarray(weights, dtype=np.int64)
+        vectors = np.asarray(vectors, dtype=np.int64)
+        return (vectors[:, :, None] * weights[None, :, :]).astype(np.float64), 1.0
 
 
 class UsystolicPe(PeModel):
@@ -90,6 +125,19 @@ class UsystolicPe(PeModel):
             # whole-GEMM bit-true runs tractable.
             self._cache[key] = self._mac.multiply(weight, ifm).product * self._scale
         return self._cache[key]
+
+    def fold_products(
+        self, weights: np.ndarray, vectors: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        """HUB planes via the count table (:func:`hub_product_counts`)."""
+        counts, scale = hub_product_counts(
+            np.asarray(weights, dtype=np.int64),
+            np.asarray(vectors, dtype=np.int64),
+            self.bits,
+            ebt=self._mac.ebt,
+            coding=self._mac.coding,
+        )
+        return counts, scale
 
 
 class UgemmHPe(PeModel):

@@ -1,7 +1,8 @@
 """uSystolic-Sim: weight-stationary cycle/traffic simulator with contention."""
 
+from .arraysim import ArraySimResult, FoldTrace, simulate_array
 from .batch import batched_matmul_params, batched_schedule
-from .cyclesim import CycleAccurateResult, simulate_fold
+from .cyclesim import CycleAccurateResult, CycleLimitError, simulate_fold
 from .dataflow import LayerSchedule, TileSchedule, schedule_layer, schedule_tile
 from .engine import (
     simulate_layer,
@@ -19,7 +20,11 @@ from .traffic import (
 )
 
 __all__ = [
+    "ArraySimResult",
     "CycleAccurateResult",
+    "CycleLimitError",
+    "FoldTrace",
+    "simulate_array",
     "simulate_fold",
     "TraceEvent",
     "bandwidth_histogram",

@@ -1,0 +1,363 @@
+"""Full-array cycle-accurate co-simulation: the stepped R x C truth source.
+
+:mod:`repro.sim.cyclesim` steps *one* weight-stationary fold;  this module
+generalises it to whole layers: every fold of the :func:`repro.gemm.tiling.
+tile_gemm` schedule is stepped on a full R x C array whose per-PE state
+lives in numpy planes (``working`` vector index, ``remaining`` MAC cycles,
+the column psum ripple), advanced whole-array per step with no
+Python-per-PE loops.  Partial sums accumulate across reduction folds with
+the preload/drain overlap the analytic model assumes (a fold's psum ripple
+is pushed out by the next fold's weight preload), and every contribution
+is attributed to its reduction fold in a ``(k_folds, V, OC)`` provenance
+tensor — the register-level ground truth the differential engine
+(:mod:`repro.verify.diff`) holds the closed-form schedule and the event
+trace against.
+
+Two step granularities, differentially pinned against each other:
+
+- ``"cycle"`` — one plane advance per clock cycle, exactly the register
+  semantics of :func:`repro.sim.cyclesim.simulate_fold` lifted to whole
+  layers.  O(cycles) — the truth source for small configs (the fuzzer's
+  diet).
+- ``"wave"`` — one plane advance per admitted vector (``mac_cycles``
+  clock cycles at a time).  Between vector admissions every PE's state
+  evolution is rigid (``remaining`` decrements once per cycle, nothing
+  else moves), so the wave advance is exact, and the ``array`` diff
+  surface proves it cycle-identical on every fuzz case.  O(vectors) —
+  fast enough for a full AlexNet conv layer in seconds.
+
+Timing convention (shared with :mod:`repro.sim.dataflow`): fold ``f+1``'s
+weight preload begins the cycle PE(0, 0) retires fold ``f``'s last MAC, so
+each fold costs ``preload + V*mac`` and only the last fold's drain is paid
+— the stepped model *derives* these boundaries from plane state rather
+than assuming them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.config import ArrayConfig
+from ..core.pe import PeModel, make_pe
+from ..gemm.im2col import im2col
+from ..gemm.params import GemmParams
+from ..gemm.tiling import Tile, tile_gemm
+from .cyclesim import CycleLimitError
+
+__all__ = ["ArraySimResult", "FoldTrace", "GRANULARITIES", "simulate_array"]
+
+#: Step granularities (see module docstring).
+GRANULARITIES = ("cycle", "wave")
+
+#: Per-column launch lag of the IDFF pipeline (Figure 7): PE(r, c) admits
+#: a vector exactly this many cycles after PE(r, c-1).  A mutation seam:
+#: the verify suite plants an off-by-one here and must catch it.
+_COLUMN_LAG = 1
+
+#: Default absolute-cycle budget for one layer run.
+_DEFAULT_MAX_CYCLES = 50_000_000
+
+
+@dataclasses.dataclass(frozen=True)
+class FoldTrace:
+    """Stepped timing of one fold, derived from plane state."""
+
+    index: int
+    k_fold: int
+    c_fold: int
+    k_start: int
+    c_start: int
+    rows: int
+    cols: int
+    start_cycle: int
+    """Absolute cycle the fold's weight preload begins."""
+    preload_cycles: int
+    first_launch_cycle: int
+    """Absolute cycle vector 0 enters PE(0, 0)."""
+    last_mac_finish: int
+    """Absolute cycle the fold's final MAC retires."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ArraySimResult:
+    """Outcome of one stepped whole-layer run."""
+
+    psums: np.ndarray
+    """(V, OC) partial sums at integer product scale, all folds folded in."""
+    provenance: np.ndarray
+    """(k_folds, V, OC) MACs each reduction fold contributed per output."""
+    compute_cycles: int
+    """Layer completion under the drain-overlap convention (== analytic)."""
+    pe_busy_cycles: int
+    """Sum over PEs of occupied cycles (the utilization ground truth)."""
+    folds: tuple[FoldTrace, ...]
+    granularity: str
+    launch_planes: tuple[np.ndarray, ...] | None = None
+    """Per fold, the (rows, cols) absolute launch cycle of vector 0 at
+    each PE — present when ``collect_planes`` was requested."""
+    finish_planes: tuple[np.ndarray, ...] | None = None
+    """Per fold, the (V, cols) absolute cycle each column sum completed."""
+
+    @property
+    def num_folds(self) -> int:
+        return len(self.folds)
+
+
+@dataclasses.dataclass(frozen=True)
+class _FoldRun:
+    """Per-fold plane artifacts one stepper hands back."""
+
+    psums: np.ndarray  # (V, cols) at integer product scale
+    finish: np.ndarray  # (V, cols) absolute completion cycle per column sum
+    launch0: np.ndarray  # (rows, cols) absolute launch cycle of vector 0
+    busy: int
+    next_offset: int  # absolute cycle the next fold's preload may begin
+    last_mac_finish: int
+
+
+# ----------------------------------------------------------------------
+# fold steppers
+# ----------------------------------------------------------------------
+def _step_fold_wave(
+    counts: np.ndarray,
+    scale: float,
+    mac: int,
+    offset: int,
+    max_cycles: int,
+) -> _FoldRun:
+    """Advance one fold a vector-wave (``mac`` cycles) at a time.
+
+    Plane state is identical to the cycle stepper at every wave boundary:
+    a wave admits vector ``v`` into every PE (launch skewed by ``r + c``),
+    burns its ``mac`` occupied cycles, and lands the product plane into
+    the column psum ripple (a cumulative sum up the rows — the per-PE
+    psum register contents as the partials pass through).
+    """
+    nvec, rows, cols = counts.shape
+    preload = rows + cols - 1
+    rplane = np.arange(rows, dtype=np.int64)[:, None]
+    cplane = np.arange(cols, dtype=np.int64)[None, :]
+    launch0 = offset + preload + rplane + _COLUMN_LAG * cplane
+    working = np.full((rows, cols), -1, dtype=np.int64)
+    remaining = np.zeros((rows, cols), dtype=np.int64)
+    psum_cols = np.zeros((nvec, cols), dtype=counts.dtype)
+    finish = np.zeros((nvec, cols), dtype=np.int64)
+    bottom_launch = launch0[rows - 1, :]
+    busy = 0
+    for v in range(nvec):
+        if remaining.any():
+            raise RuntimeError("PE still occupied at vector admission")
+        if not (working == v - 1).all():
+            raise RuntimeError("PE re-entered an old vector")
+        working[:, :] = v
+        remaining[:, :] = mac
+        busy += mac * rows * cols
+        # The wave's ``mac`` cycles: remaining drains to zero and the
+        # product plane ripples up the columns into the psum register.
+        psum_plane = np.cumsum(counts[v], axis=0)
+        psum_cols[v, :] = psum_plane[rows - 1, :]
+        finish[v, :] = bottom_launch + v * mac + mac
+        remaining[:, :] = 0
+    last_finish = int(finish[nvec - 1, cols - 1])
+    if last_finish > max_cycles:
+        still_open = int((finish > max_cycles).sum()) * rows
+        raise CycleLimitError(last_finish, still_open, max_cycles)
+    return _FoldRun(
+        psums=psum_cols.astype(np.float64) * scale,
+        finish=finish,
+        launch0=launch0,
+        busy=busy,
+        next_offset=int(launch0[0, 0]) + nvec * mac,
+        last_mac_finish=last_finish,
+    )
+
+
+def _step_fold_cycle(
+    counts: np.ndarray,
+    scale: float,
+    mac: int,
+    offset: int,
+    max_cycles: int,
+) -> _FoldRun:
+    """Advance one fold one clock cycle at a time (register semantics).
+
+    The whole-array lift of :func:`repro.sim.cyclesim.simulate_fold`:
+    per cycle, a launch mask admits due vectors, every occupied PE burns
+    one cycle, and PEs whose MAC retires land their product into the
+    column psum — all as whole-plane numpy operations.
+    """
+    nvec, rows, cols = counts.shape
+    preload = rows + cols - 1
+    skew = (
+        np.arange(rows, dtype=np.int64)[:, None]
+        + _COLUMN_LAG * np.arange(cols, dtype=np.int64)[None, :]
+    )
+    working = np.full((rows, cols), -1, dtype=np.int64)
+    remaining = np.zeros((rows, cols), dtype=np.int64)
+    launch0 = np.zeros((rows, cols), dtype=np.int64)
+    pending = np.full((nvec, cols), rows, dtype=np.int64)
+    psum_cols = np.zeros((nvec, cols), dtype=counts.dtype)
+    finish = np.zeros((nvec, cols), dtype=np.int64)
+    busy = 0
+    done_macs = 0
+    total_macs = rows * cols * nvec
+    next_offset = offset + preload + nvec * mac
+    t = 0
+    while done_macs < total_macs:
+        cycle = offset + preload + t
+        if cycle > max_cycles:
+            raise CycleLimitError(cycle, total_macs - done_macs, max_cycles)
+        vnext, lag = np.divmod(t - skew, mac)
+        can = (lag == 0) & (vnext >= 0) & (vnext < nvec) & (remaining == 0)
+        if can.any():
+            if (working[can] >= vnext[can]).any():
+                raise RuntimeError("PE re-entered an old vector")
+            working[can] = vnext[can]
+            remaining[can] = mac
+            launch0[can & (vnext == 0)] = cycle
+        active = remaining > 0
+        occupied = int(np.count_nonzero(active))
+        if occupied:
+            remaining[active] -= 1
+            busy += occupied
+            landed = active & (remaining == 0)
+            if landed.any():
+                r_idx, c_idx = np.nonzero(landed)
+                v_idx = working[landed]
+                np.add.at(psum_cols, (v_idx, c_idx), counts[v_idx, r_idx, c_idx])
+                np.add.at(pending, (v_idx, c_idx), -1)
+                closed = pending[v_idx, c_idx] == 0
+                finish[v_idx[closed], c_idx[closed]] = cycle + 1
+                done_macs += len(v_idx)
+        t += 1
+    return _FoldRun(
+        psums=psum_cols.astype(np.float64) * scale,
+        finish=finish,
+        launch0=launch0,
+        busy=busy,
+        next_offset=next_offset,
+        last_mac_finish=int(finish.max()),
+    )
+
+
+# ----------------------------------------------------------------------
+# fold-boundary accumulation (a mutation seam the verify suite targets)
+# ----------------------------------------------------------------------
+def _accumulate_fold(
+    psums: np.ndarray,
+    provenance: np.ndarray,
+    tile: Tile,
+    k_fold: int,
+    fold_psums: np.ndarray,
+) -> None:
+    """Fold one tile's column sums into the layer OFM, with provenance.
+
+    Reduction folds accumulate through the psum buffer exactly in binary
+    (the HUB fold-invariance guarantee); ``provenance[k_fold]`` records
+    how many MACs this reduction fold contributed to each touched output.
+    """
+    cols = slice(tile.c_start, tile.c_start + tile.cols)
+    psums[:, cols] += fold_psums
+    provenance[k_fold, :, cols] += tile.rows
+
+
+# ----------------------------------------------------------------------
+# the whole-layer co-simulator
+# ----------------------------------------------------------------------
+def _check_operand(arr: np.ndarray, shape: tuple[int, ...], bits: int) -> np.ndarray:
+    arr = np.asarray(arr)
+    if arr.shape != shape:
+        raise ValueError(f"operand shape {arr.shape} != expected {shape}")
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise ValueError("operands must be integer (FXP) arrays")
+    if np.abs(arr).max(initial=0) >= 1 << (bits - 1):
+        raise ValueError(f"operands exceed the {bits}-bit sign-magnitude range")
+    return arr.astype(np.int64)
+
+
+def simulate_array(
+    params: GemmParams,
+    config: ArrayConfig,
+    weight: np.ndarray,
+    ifm: np.ndarray,
+    granularity: str = "wave",
+    max_cycles: int = _DEFAULT_MAX_CYCLES,
+    collect_planes: bool = False,
+) -> ArraySimResult:
+    """Step one whole GEMM through the full R x C array, fold by fold.
+
+    ``weight`` has shape (OC, WH, WW, IC) and ``ifm`` (IH, IW, IC), as for
+    :meth:`repro.core.array.UsystolicArray.execute`; the result's
+    ``psums`` carry the same integer-product-scale values the functional
+    array produces (byte-identical — the diff surface asserts it), plus
+    the stepped timing and per-fold psum provenance the analytic schedule
+    is held against.  With ``collect_planes`` the per-fold launch and
+    finish planes are kept so a differential run can name the first
+    divergent (cycle, pe, fold).
+    """
+    if granularity not in GRANULARITIES:
+        raise ValueError(
+            f"granularity must be one of {GRANULARITIES}, got {granularity!r}"
+        )
+    params.validate()
+    config.validate()
+    weight = _check_operand(
+        weight, (params.oc, params.wh, params.ww, params.ic), config.bits
+    )
+    ifm = _check_operand(ifm, (params.ih, params.iw, params.ic), config.bits)
+
+    pe: PeModel = make_pe(config.scheme, config.bits, config.ebt)
+    mac = pe.mac_cycles
+    cols_mat = im2col(params, ifm)  # (V, K)
+    wmat = weight.reshape(params.oc, params.window).T  # (K, OC)
+    tiling = tile_gemm(params, config.rows, config.cols)
+
+    nvec = cols_mat.shape[0]
+    psums = np.zeros((nvec, params.oc), dtype=np.float64)
+    provenance = np.zeros((tiling.k_folds, nvec, params.oc), dtype=np.int64)
+    stepper = _step_fold_cycle if granularity == "cycle" else _step_fold_wave
+    folds: list[FoldTrace] = []
+    launch_planes: list[np.ndarray] = []
+    finish_planes: list[np.ndarray] = []
+    busy_total = 0
+    offset = 0
+    for index, tile in enumerate(tiling):
+        k_fold = tile.k_start // config.rows
+        w_tile = wmat[tile.k_start : tile.k_start + tile.rows,
+                      tile.c_start : tile.c_start + tile.cols]
+        x_tile = cols_mat[:, tile.k_start : tile.k_start + tile.rows]
+        counts, scale = pe.fold_products(w_tile, x_tile)
+        run = stepper(counts, scale, mac, offset, max_cycles)
+        _accumulate_fold(psums, provenance, tile, k_fold, run.psums)
+        folds.append(
+            FoldTrace(
+                index=index,
+                k_fold=k_fold,
+                c_fold=tile.c_start // config.cols,
+                k_start=tile.k_start,
+                c_start=tile.c_start,
+                rows=tile.rows,
+                cols=tile.cols,
+                start_cycle=offset,
+                preload_cycles=tile.rows + tile.cols - 1,
+                first_launch_cycle=int(run.launch0[0, 0]),
+                last_mac_finish=run.last_mac_finish,
+            )
+        )
+        if collect_planes:
+            launch_planes.append(run.launch0)
+            finish_planes.append(run.finish)
+        busy_total += run.busy
+        offset = run.next_offset
+    return ArraySimResult(
+        psums=psums,
+        provenance=provenance,
+        compute_cycles=folds[-1].last_mac_finish,
+        pe_busy_cycles=busy_total,
+        folds=tuple(folds),
+        granularity=granularity,
+        launch_planes=tuple(launch_planes) if collect_planes else None,
+        finish_planes=tuple(finish_planes) if collect_planes else None,
+    )

@@ -22,7 +22,26 @@ import numpy as np
 from ..core.pe import PeModel, make_pe
 from ..schemes import ComputeScheme
 
-__all__ = ["CycleAccurateResult", "simulate_fold"]
+__all__ = ["CycleAccurateResult", "CycleLimitError", "simulate_fold"]
+
+
+class CycleLimitError(RuntimeError):
+    """The stepper exceeded ``max_cycles`` with MACs still pending.
+
+    Carries the machine state a bare assert would discard: the absolute
+    cycle at which the limit tripped and how many MACs were still pending
+    — enough to tell a too-small budget from a genuine schedule deadlock.
+    """
+
+    def __init__(self, cycle: int, pending_macs: int, max_cycles: int) -> None:
+        self.cycle = cycle
+        self.pending_macs = pending_macs
+        self.max_cycles = max_cycles
+        super().__init__(
+            f"cycle limit exceeded at cycle {cycle} with {pending_macs} "
+            f"MAC(s) still pending (max_cycles={max_cycles}) — raise the "
+            "budget or suspect a schedule deadlock"
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -82,7 +101,7 @@ def simulate_fold(
     cycle = preload
     while done_macs < total_macs:
         if cycle - preload > max_cycles:
-            raise RuntimeError("cycle limit exceeded — schedule deadlock?")
+            raise CycleLimitError(cycle, total_macs - done_macs, max_cycles)
         t = cycle - preload
         # Launch: element (v, r) enters PE(r, 0) at t = v*mac + r, and
         # PE(r, c) one cycle per column later (the IDFF lag).

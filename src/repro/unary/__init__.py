@@ -33,7 +33,7 @@ from .mac import (
 )
 from .metrics import ErrorStats, error_stats, mae, rmse
 from .multiply import UmulResult, stream_for_input, umul_bipolar, umul_unipolar
-from .vectorized import hub_mac_row, hub_mac_tile
+from .vectorized import hub_mac_row, hub_mac_tile, hub_product_counts
 from .rng import (
     CounterSequence,
     LfsrSequence,
@@ -77,6 +77,7 @@ __all__ = [
     "umul_unipolar",
     "hub_mac_row",
     "hub_mac_tile",
+    "hub_product_counts",
     "CounterSequence",
     "LfsrSequence",
     "NumberSequence",

@@ -27,7 +27,7 @@ import numpy as np
 from .bitstream import Coding
 from .rng import CounterSequence, SobolSequence
 
-__all__ = ["hub_mac_row", "hub_mac_tile"]
+__all__ = ["hub_mac_row", "hub_mac_tile", "hub_product_counts"]
 
 #: Cached (kind, bits) sequences kept per thread; LRU-evicted beyond this.
 _SEQ_CACHE_MAX = 16
@@ -213,3 +213,73 @@ def hub_mac_tile(
     return out.astype(np.float64) * float(
         (1 << (bits - ebt)) * (1 << (bits - 1))
     )
+
+
+def hub_product_counts(
+    w_tile: np.ndarray,
+    x_tile: np.ndarray,
+    bits: int,
+    ebt: int | None = None,
+    coding: Coding = Coding.RATE,
+) -> tuple[np.ndarray, float]:
+    """Per-PE signed product counts of one fold: the un-summed HUB plane.
+
+    Where :func:`hub_mac_tile` collapses the K axis, this returns the full
+    ``(V, K, C)`` tensor of signed enabled-cycle counts plus the single
+    power-of-two restore scale, so ``counts.sum(axis=1) * scale`` equals
+    :func:`hub_mac_tile` byte for byte and ``counts[v, r, c] * scale``
+    equals the scalar :class:`~repro.unary.mac.HubMac` product of
+    ``(w_tile[r, c], x_tile[v, r])``.  This is the plane the stepped-array
+    co-simulator (:mod:`repro.sim.arraysim`) lands one element of per PE
+    per MAC completion.
+    """
+    if ebt is None:
+        ebt = bits
+    if not 2 <= ebt <= bits:
+        raise ValueError(f"ebt must be in [2, {bits}], got {ebt}")
+    if ebt != bits and coding is Coding.TEMPORAL:
+        raise ValueError("temporal coding admits no early termination")
+    w_tile = np.asarray(w_tile, dtype=np.int64)
+    x_tile = np.asarray(x_tile, dtype=np.int64)
+    if w_tile.ndim != 2 or x_tile.ndim != 2 or w_tile.shape[0] != x_tile.shape[1]:
+        raise ValueError(
+            f"incompatible tile shapes {x_tile.shape} x {w_tile.shape}"
+        )
+    limit = 1 << (bits - 1)
+    if (
+        np.abs(w_tile).max(initial=0) >= limit
+        or np.abs(x_tile).max(initial=0) >= limit
+    ):
+        raise ValueError(f"operands must be {bits}-bit sign-magnitude values")
+
+    mag_bits = ebt - 1
+    scale = float((1 << (bits - ebt)) * (1 << (bits - 1)))
+    if mag_bits > _TABLE_MAX_MAG_BITS:
+        out_f = np.zeros(
+            (x_tile.shape[0], w_tile.shape[0], w_tile.shape[1]), dtype=np.int64
+        )
+        restore = int(scale)
+        for vec in range(x_tile.shape[0]):  # repro-lint: ignore[perf]
+            for r in range(w_tile.shape[0]):  # repro-lint: ignore[perf]
+                row = hub_mac_row(
+                    int(x_tile[vec, r]), w_tile[r], bits, ebt=ebt, coding=coding
+                )
+                out_f[vec, r] = np.round(row / restore).astype(np.int64)
+        return out_f, scale
+
+    shift = (bits - 1) - mag_bits
+    table = _count_table(coding, mag_bits)
+    imag = np.abs(x_tile) >> shift  # (V, K)
+    isign = x_tile < 0
+    wmag = np.abs(w_tile) >> shift  # (K, C)
+    wsign = w_tile < 0
+    n_v, n_k = x_tile.shape
+    n_c = w_tile.shape[1]
+    out = np.empty((n_v, n_k, n_c), dtype=np.int64)
+    step = max(1, _TILE_CHUNK_ELEMS // max(1, n_k * n_c))
+    for start in range(0, n_v, step):
+        sl = slice(start, start + step)
+        counts = table[imag[sl, :, None], wmag[None, :, :]]  # (v, K, C)
+        signs = np.where(isign[sl, :, None] ^ wsign[None, :, :], -1, 1)
+        out[sl] = signs * counts
+    return out, scale

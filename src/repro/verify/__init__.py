@@ -11,10 +11,13 @@ and tuGEMM validate their unary GEMM units against exact binary oracles:
   that share *no code* with the implementations they judge;
 - :mod:`repro.verify.diff` — the differential engine: one
   :class:`~repro.verify.diff.VerifyCase` runs through both the scalar
-  and vectorised unary kernels and through ``sim.engine.simulate_layer``
-  versus the analytical model, reporting structured
+  and vectorised unary kernels, through ``sim.engine.simulate_layer``
+  versus the analytical model, and through the stepped full-array
+  co-simulator (:mod:`repro.sim.arraysim`) as a third oracle — analytic
+  schedule ≡ event trace ≡ stepped array — reporting structured
   :class:`~repro.verify.diff.Mismatch` records (check, expected, got,
-  delta) instead of a bare assert;
+  delta) that name the first divergent (cycle, pe, fold) instead of a
+  bare assert;
 - :mod:`repro.verify.fuzz` — a seeded random generator over the
   ``ArrayConfig`` / ``GemmParams`` / coding / bit-width space, fanned
   out through :mod:`repro.jobs`, with greedy shrinking of failing cases

@@ -55,6 +55,12 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--budget", type=int, default=200, help="cases to draw")
     fuzz.add_argument("--jobs", type=int, default=1, help="worker processes")
     fuzz.add_argument(
+        "--engine",
+        choices=("all", "kernel", "engine", "functional", "array"),
+        default="all",
+        help="pin the fuzzed diff surface (default: all, weighted mix)",
+    )
+    fuzz.add_argument(
         "--out",
         default="verify-failures",
         help="directory for shrunk counterexamples (default: verify-failures)",
@@ -123,6 +129,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         out_dir=args.out,
         store=store,
+        engine=None if args.engine == "all" else args.engine,
     )
     status = _render_reports(list(result.failures), sys.stderr)
     if args.json:

@@ -6,7 +6,7 @@ x coding x bit-width space, flattened into one frozen dataclass whose
 fields that differ from those defaults, which is what the fuzzer's
 greedy shrinker minimises.
 
-Three case kinds, three diff surfaces:
+Four case kinds, four diff surfaces:
 
 - ``kernel`` — the scalar :class:`~repro.unary.mac.HubMac` versus the
   vectorised :func:`~repro.unary.vectorized.hub_mac_row` (scalar
@@ -17,7 +17,12 @@ Three case kinds, three diff surfaces:
   analytical oracles of :mod:`repro.verify.oracles`;
 - ``functional`` — the whole :class:`~repro.core.array.UsystolicArray`
   versus an independent scalar-MAC reference (and, for binary schemes,
-  the exact convolution oracle).
+  the exact convolution oracle);
+- ``array`` — the third oracle: the stepped full-array co-simulator
+  (:func:`repro.sim.arraysim.simulate_array`) versus the analytic
+  schedule, the event trace and the functional array — analytic ≡ trace
+  ≡ stepped, with mismatches naming the first divergent (cycle, pe,
+  fold), plus the cycle-vs-wave granularity cross-check.
 
 Every disagreement becomes a structured :class:`Mismatch` (check,
 expected, got, delta) so failures are machine-shrinkable and diffable
@@ -27,7 +32,7 @@ rather than a bare assert message.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -38,8 +43,8 @@ from ..gemm.params import GemmParams
 from ..gemm.tiling import tile_gemm
 from ..memory.hierarchy import MemoryConfig
 from ..schemes import ComputeScheme
-from ..sim import tracegen
-from ..sim.dataflow import schedule_layer
+from ..sim import arraysim, tracegen
+from ..sim.dataflow import schedule_layer, schedule_tile
 from ..sim.engine import simulate_layer
 from ..sim.traffic import profile_traffic
 from ..unary import vectorized
@@ -55,7 +60,7 @@ from .oracles import (
 
 __all__ = ["VerifyCase", "Mismatch", "DiffReport", "run_case", "default_cases"]
 
-KINDS = ("kernel", "engine", "functional")
+KINDS = ("kernel", "engine", "functional", "array")
 
 _SCHEMES = {s.value: s for s in ComputeScheme}
 
@@ -65,6 +70,12 @@ _FUNCTIONAL_SCHEMES = ("BP", "UR", "UT")
 #: Cap on reported per-element functional mismatches (the report stays
 #: readable; the mismatch *count* is still exact via ``checks``).
 _MAX_ELEMENT_MISMATCHES = 8
+
+#: Analytic-cycle budget under which the array diff also runs the exact
+#: per-clock-cycle stepper and holds the wave stepper to it; above it
+#: only the O(vectors) wave granularity runs (still diffed against the
+#: schedule, trace and functional array).
+_CYCLE_STEP_GUARD = 50_000
 
 
 @dataclasses.dataclass(frozen=True)
@@ -377,6 +388,176 @@ def _diff_functional(case: VerifyCase, out: _Collector) -> None:
             reported += 1
 
 
+def _compare_plane(
+    out: _Collector,
+    name: Callable[[tuple[int, ...]], str],
+    expected: np.ndarray,
+    got: np.ndarray,
+) -> None:
+    """Element-count-exact plane comparison with capped named reports."""
+    out.checks += expected.size
+    bad = np.argwhere(expected != got)
+    for index in bad[:_MAX_ELEMENT_MISMATCHES]:
+        key = tuple(int(i) for i in index)
+        out.mismatches.append(
+            Mismatch(
+                check=name(key),
+                expected=float(expected[key]),
+                got=float(got[key]),
+            )
+        )
+    # Overflow beyond the cap still counts as mismatches via ``checks``
+    # bookkeeping in the report consumer; record the count explicitly.
+    if len(bad) > _MAX_ELEMENT_MISMATCHES:
+        out.compare(name(("...",)) + ".count", 0, len(bad))
+
+
+def _diff_array(case: VerifyCase, out: _Collector) -> None:
+    """The stepped full array vs schedule, trace, functional array.
+
+    The three-way equivalence this pins::
+
+        analytic schedule  ==  event trace  ==  stepped array
+        (closed form)          (tracegen)       (arraysim planes)
+
+    with psums additionally held byte-identical to the functional
+    :class:`~repro.core.array.UsystolicArray` and, when the case is
+    small, the wave stepper held to the exact per-cycle stepper.
+    """
+    params = case.gemm_params()
+    array = case.array_config()
+    rng = np.random.default_rng(case.seed)
+    limit = 1 << (case.bits - 1)
+    weight = rng.integers(
+        -limit + 1, limit, size=(params.oc, params.wh, params.ww, params.ic)
+    )
+    ifm = rng.integers(-limit + 1, limit, size=(params.ih, params.iw, params.ic))
+
+    latency = mac_latency_oracle(array.scheme, case.bits, case.ebt)
+    tiling = tile_gemm(params, array.rows, array.cols)
+    sched = schedule_layer(tiling, array.mac_cycles)
+    cycles = compute_cycles_oracle(params, array.rows, array.cols, latency)
+    # Resolved through the module so mutation tests diff what runs.
+    stepped = arraysim.simulate_array(
+        params, array, weight, ifm, granularity="wave", collect_planes=True
+    )
+
+    out.compare("array.compute_cycles", cycles, stepped.compute_cycles)
+    out.compare("array.schedule_cycles", sched.compute_cycles, stepped.compute_cycles)
+    out.compare("array.pe_busy_cycles", sched.active_pe_mac_cycles, stepped.pe_busy_cycles)
+    out.compare("array.num_folds", tiling.num_tiles, stepped.num_folds)
+
+    # --- per-fold closed form and launch skew (names pe and fold) -----
+    vectors = params.oh * params.ow
+    offset = 0
+    for fold, tile in zip(stepped.folds, tiling):
+        ts = schedule_tile(tile, array.mac_cycles)
+        tag = f"array.fold[{fold.index}]"
+        out.compare(f"{tag}.start_cycle", offset, fold.start_cycle)
+        out.compare(f"{tag}.preload_cycles", ts.preload_cycles, fold.preload_cycles)
+        out.compare(
+            f"{tag}.first_launch_cycle",
+            offset + ts.preload_cycles,
+            fold.first_launch_cycle,
+        )
+        out.compare(
+            f"{tag}.last_mac_finish",
+            offset + ts.total_cycles,
+            fold.last_mac_finish,
+        )
+        skew = (
+            np.arange(tile.rows, dtype=np.int64)[:, None]
+            + np.arange(tile.cols, dtype=np.int64)[None, :]
+        )
+        _compare_plane(
+            out,
+            lambda pe, f=fold.index: f"array.launch[fold={f},pe={pe}]",
+            offset + ts.preload_cycles + skew,
+            stepped.launch_planes[fold.index],
+        )
+        offset += ts.preload_cycles + ts.stream_cycles
+
+    # --- trace alignment: the event trace against the stepped folds ---
+    events = tracegen.generate_trace(params, array)
+    weight_cycles = [e.cycle for e in events if e.variable == "weight"]
+    ifm_cycles = [e.cycle for e in events if e.variable == "ifm"]
+    ofm_writes = [e.cycle for e in events if e.variable == "ofm" and e.op == "write"]
+    out.compare("array.trace.weight_events", stepped.num_folds, len(weight_cycles))
+    out.compare("array.trace.ifm_events", stepped.num_folds * vectors, len(ifm_cycles))
+    if len(weight_cycles) == stepped.num_folds and len(ifm_cycles) == len(ofm_writes) == stepped.num_folds * vectors:
+        for fold in stepped.folds:
+            tag = f"array.trace[fold={fold.index}]"
+            first = fold.index * vectors
+            out.compare(f"{tag}.weight_read", fold.start_cycle, weight_cycles[fold.index])
+            out.compare(f"{tag}.ifm_first", fold.first_launch_cycle, ifm_cycles[first])
+            out.compare(
+                f"{tag}.ifm_last",
+                fold.first_launch_cycle + (vectors - 1) * array.mac_cycles,
+                ifm_cycles[first + vectors - 1],
+            )
+            out.compare(
+                f"{tag}.ofm_last_write",
+                fold.first_launch_cycle + vectors * array.mac_cycles,
+                ofm_writes[first + vectors - 1],
+            )
+
+    # --- psums byte-identical to the functional array -----------------
+    ref = UsystolicArray(array).execute(params, weight, ifm).reshape(-1, params.oc)
+    _compare_plane(
+        out, lambda vc: f"array.psum[v={vc[0]},oc={vc[1]}]", ref, stepped.psums
+    )
+    if array.scheme is ComputeScheme.BINARY_PARALLEL:
+        exact = conv_oracle(params, weight, ifm).reshape(-1, params.oc)
+        _compare_plane(
+            out, lambda vc: f"array.conv[v={vc[0]},oc={vc[1]}]", exact, stepped.psums
+        )
+
+    # --- psum provenance: every output covered exactly once per fold --
+    expected_prov = np.zeros_like(stepped.provenance)
+    for tile in tiling:
+        k_fold = tile.k_start // array.rows
+        expected_prov[k_fold, :, tile.c_start : tile.c_start + tile.cols] += tile.rows
+    out.compare(
+        "array.provenance.per_fold",
+        0.0,
+        float(np.abs(stepped.provenance - expected_prov).max(initial=0)),
+    )
+    out.compare(
+        "array.provenance.coverage",
+        0.0,
+        float(
+            np.abs(stepped.provenance.sum(axis=0) - params.window).max(initial=0)
+        ),
+    )
+
+    # --- granularity cross-check: wave held to the per-cycle stepper --
+    if cycles <= _CYCLE_STEP_GUARD:
+        clocked = arraysim.simulate_array(
+            params, array, weight, ifm, granularity="cycle", collect_planes=True
+        )
+        out.compare("array.step.compute_cycles", clocked.compute_cycles, stepped.compute_cycles)
+        out.compare("array.step.pe_busy_cycles", clocked.pe_busy_cycles, stepped.pe_busy_cycles)
+        _compare_plane(
+            out,
+            lambda vc: f"array.step.psum[v={vc[0]},oc={vc[1]}]",
+            clocked.psums,
+            stepped.psums,
+        )
+        for fold in stepped.folds:
+            _compare_plane(
+                out,
+                lambda pe, f=fold.index: f"array.step.launch[fold={f},pe={pe}]",
+                clocked.launch_planes[fold.index],
+                stepped.launch_planes[fold.index],
+            )
+            _compare_plane(
+                out,
+                lambda vc, f=fold.index: f"array.step.finish[fold={f},v={vc[0]},col={vc[1]}]",
+                clocked.finish_planes[fold.index],
+                stepped.finish_planes[fold.index],
+            )
+
+
 def run_case(case: VerifyCase) -> DiffReport:
     """Run every diff surface of one (validated) case."""
     case = case.validated()
@@ -385,6 +566,8 @@ def run_case(case: VerifyCase) -> DiffReport:
         _diff_kernel(case, out)
     elif case.kind == "engine":
         _diff_engine(case, out)
+    elif case.kind == "array":
+        _diff_array(case, out)
     else:
         _diff_functional(case, out)
     return DiffReport(case=case, checks=out.checks, mismatches=tuple(out.mismatches))
@@ -433,6 +616,22 @@ def default_cases() -> list[VerifyCase]:
                        ic=1, wh=2, ww=2, oc=2, rows=2, cols=2, seed=11),
             VerifyCase(kind="functional", scheme="UT", bits=4, ih=3, iw=3, ic=1,
                        wh=2, ww=2, oc=2, rows=3, cols=2, seed=3),
+        ]
+    )
+    cases.extend(
+        [
+            # The third oracle: one stepped-array case per scheme family,
+            # sized so the per-cycle granularity cross-check also runs.
+            VerifyCase(kind="array", scheme="BP", bits=8, ih=6, iw=6, ic=2,
+                       wh=3, ww=3, oc=5, rows=4, cols=3, seed=5),
+            VerifyCase(kind="array", scheme="UR", bits=5, ebt=3, ih=4, iw=4,
+                       ic=2, wh=2, ww=2, oc=3, rows=3, cols=2, seed=13),
+            VerifyCase(kind="array", scheme="UT", bits=4, ih=4, iw=4, ic=1,
+                       wh=2, ww=2, oc=3, rows=2, cols=2, seed=17),
+            VerifyCase(kind="array", scheme="BS", bits=5, ih=4, iw=4, ic=1,
+                       wh=2, ww=2, oc=2, rows=2, cols=2, seed=4),
+            VerifyCase(kind="array", scheme="UG", bits=4, ih=4, iw=4, ic=1,
+                       wh=2, ww=2, oc=3, rows=2, cols=2, seed=3),
         ]
     )
     return [case.validated() for case in cases]

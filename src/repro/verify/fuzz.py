@@ -48,9 +48,10 @@ COUNTEREXAMPLE_SCHEMA = 1
 #: Fields the shrinker never touches (the case kind *is* the surface).
 _FROZEN_FIELDS = ("kind",)
 
-#: Draw weights of the three surfaces: kernels are cheapest and the
-#: highest-value diff, functional cases are the most expensive.
-_KIND_WEIGHTS = {"kernel": 0.45, "engine": 0.35, "functional": 0.20}
+#: Draw weights of the four surfaces: kernels are cheapest and the
+#: highest-value diff; functional and stepped-array cases are the most
+#: expensive, and the array surface subsumes much of functional's.
+_KIND_WEIGHTS = {"kernel": 0.40, "engine": 0.30, "functional": 0.15, "array": 0.15}
 
 
 # ----------------------------------------------------------------------
@@ -129,16 +130,48 @@ def _draw_functional(rng: np.random.Generator) -> VerifyCase:
     )
 
 
-def generate_case(rng: np.random.Generator) -> VerifyCase:
-    """Draw one valid case; the rng stream fully determines it."""
-    kind = str(rng.choice(list(_KIND_WEIGHTS), p=list(_KIND_WEIGHTS.values())))
-    if kind == "kernel":
-        case = _draw_kernel(rng)
-    elif kind == "engine":
-        case = _draw_engine(rng)
+def _draw_array(rng: np.random.Generator) -> VerifyCase:
+    scheme = str(rng.choice(["BP", "UR", "UT"]))
+    if scheme == "BP":
+        bits, ebt = 8, None
+    elif scheme == "UR":
+        bits = int(rng.integers(3, 6))
+        ebt = None if rng.random() < 0.5 else int(rng.integers(2, bits + 1))
     else:
-        case = _draw_functional(rng)
-    return case.validated()
+        bits, ebt = int(rng.integers(3, 5)), None
+    return VerifyCase(
+        kind="array",
+        bits=bits,
+        ebt=ebt,
+        scheme=scheme,
+        rows=int(rng.integers(1, 6)),
+        cols=int(rng.integers(1, 6)),
+        seed=int(rng.integers(0, 2**31)),
+        **_draw_gemm(rng, small=True),
+    )
+
+
+_DRAWERS = {
+    "kernel": _draw_kernel,
+    "engine": _draw_engine,
+    "functional": _draw_functional,
+    "array": _draw_array,
+}
+
+
+def generate_case(
+    rng: np.random.Generator, kind: str | None = None
+) -> VerifyCase:
+    """Draw one valid case; the rng stream fully determines it.
+
+    ``kind`` pins the surface (the ``--engine`` fuzz target); ``None``
+    draws it from the weighted distribution.
+    """
+    if kind is None:
+        kind = str(rng.choice(list(_KIND_WEIGHTS), p=list(_KIND_WEIGHTS.values())))
+    if kind not in _DRAWERS:
+        raise ValueError(f"unknown case kind {kind!r}; expected one of {sorted(_DRAWERS)}")
+    return _DRAWERS[kind](rng).validated()
 
 
 # ----------------------------------------------------------------------
@@ -293,17 +326,20 @@ def run_fuzz(
     jobs: int = 1,
     out_dir: str | Path | None = "verify-failures",
     store: ResultStore | None = None,
+    engine: str | None = None,
 ) -> FuzzResult:
     """Draw, run, shrink and persist: the whole fuzz campaign.
 
     A :class:`~repro.jobs.store.ResultStore` makes re-runs incremental:
     cases whose content key is already recorded as passing are skipped
     (failures are never cached — they must shrink and re-reproduce).
+    ``engine`` pins every drawn case to one surface (``--engine array``
+    fuzzes only the stepped-array oracle); ``None`` mixes all four.
     """
     if budget < 1:
         raise ValueError(f"budget must be >= 1, got {budget}")
     rng = np.random.default_rng(seed)
-    cases = [generate_case(rng) for _ in range(budget)]
+    cases = [generate_case(rng, kind=engine) for _ in range(budget)]
 
     pending: list[tuple[int, VerifyCase]] = []
     cached = 0

@@ -1,0 +1,201 @@
+"""Property suite: the stepped full array vs the analytic schedule/oracles.
+
+For random (rows, cols, fold counts, scheme, bits) the stepped array's
+total cycles, ``pe_busy_cycles`` and psums must match the closed-form
+schedule and the :mod:`repro.verify.oracles` golden models *exactly*, the
+wave and per-cycle granularities must agree plane for plane, and the
+single-fold skew/drain invariants of ``test_skew_invariants.py`` must
+extend to multi-fold runs (fold starts chain through the drain-overlap
+boundary, launch planes carry the ``r + c`` skew of every fold).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.array import UsystolicArray
+from repro.core.config import ArrayConfig
+from repro.gemm.params import GemmParams
+from repro.gemm.tiling import tile_gemm
+from repro.schemes import ComputeScheme as CS
+from repro.sim.arraysim import simulate_array
+from repro.sim.dataflow import schedule_layer, schedule_tile
+from repro.verify.oracles import compute_cycles_oracle, conv_oracle
+
+SCHEMES = st.sampled_from(
+    [
+        (CS.BINARY_PARALLEL, 8, None),
+        (CS.BINARY_SERIAL, 6, None),
+        (CS.USYSTOLIC_RATE, 4, 3),
+        (CS.USYSTOLIC_RATE, 5, None),
+        (CS.USYSTOLIC_TEMPORAL, 3, None),
+    ]
+)
+
+
+@st.composite
+def stepped_cases(draw, schemes=SCHEMES):
+    """A random layer, array and operand pair (seed-derived, bounded)."""
+    scheme, bits, ebt = draw(schemes)
+    ih = draw(st.integers(2, 5))
+    iw = draw(st.integers(2, 5))
+    wh = draw(st.integers(1, min(3, ih)))
+    ww = draw(st.integers(1, min(3, iw)))
+    params = GemmParams(
+        name="prop",
+        ih=ih,
+        iw=iw,
+        ic=draw(st.integers(1, 3)),
+        wh=wh,
+        ww=ww,
+        oc=draw(st.integers(1, 5)),
+        stride=draw(st.integers(1, 2)),
+    )
+    config = ArrayConfig(
+        rows=draw(st.integers(1, 5)),
+        cols=draw(st.integers(1, 5)),
+        scheme=scheme,
+        bits=bits,
+        ebt=ebt,
+    )
+    rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+    limit = 1 << (bits - 1)
+    weight = rng.integers(
+        -limit + 1, limit, size=(params.oc, params.wh, params.ww, params.ic)
+    )
+    ifm = rng.integers(-limit + 1, limit, size=(params.ih, params.iw, params.ic))
+    return params, config, weight, ifm
+
+
+class TestSteppedMatchesAnalytic:
+    @given(case=stepped_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_cycles_busy_and_psums_match_oracles(self, case):
+        params, config, weight, ifm = case
+        tiling = tile_gemm(params, config.rows, config.cols)
+        sched = schedule_layer(tiling, config.mac_cycles)
+        oracle = compute_cycles_oracle(
+            params, config.rows, config.cols, config.mac_cycles
+        )
+        ref = UsystolicArray(config).execute(params, weight, ifm)
+        ref = ref.reshape(-1, params.oc)
+        for granularity in ("wave", "cycle"):
+            res = simulate_array(params, config, weight, ifm, granularity=granularity)
+            assert res.compute_cycles == sched.compute_cycles == oracle
+            assert res.pe_busy_cycles == sched.active_pe_mac_cycles
+            assert np.array_equal(res.psums, ref)
+            assert res.num_folds == tiling.num_tiles
+
+    @given(
+        case=stepped_cases(
+            schemes=st.just((CS.BINARY_PARALLEL, 8, None))
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_binary_parallel_is_the_exact_convolution(self, case):
+        params, config, weight, ifm = case
+        res = simulate_array(params, config, weight, ifm)
+        exact = conv_oracle(params, weight, ifm).reshape(-1, params.oc)
+        assert np.array_equal(res.psums, exact)
+
+
+class TestGranularitiesAgree:
+    @given(case=stepped_cases())
+    @settings(max_examples=25, deadline=None)
+    def test_wave_equals_cycle_plane_for_plane(self, case):
+        params, config, weight, ifm = case
+        wave = simulate_array(
+            params, config, weight, ifm, granularity="wave", collect_planes=True
+        )
+        clocked = simulate_array(
+            params, config, weight, ifm, granularity="cycle", collect_planes=True
+        )
+        assert wave.compute_cycles == clocked.compute_cycles
+        assert wave.pe_busy_cycles == clocked.pe_busy_cycles
+        assert np.array_equal(wave.psums, clocked.psums)
+        assert np.array_equal(wave.provenance, clocked.provenance)
+        assert wave.folds == clocked.folds
+        for w_plane, c_plane in zip(wave.launch_planes, clocked.launch_planes):
+            assert np.array_equal(w_plane, c_plane)
+        for w_plane, c_plane in zip(wave.finish_planes, clocked.finish_planes):
+            assert np.array_equal(w_plane, c_plane)
+
+
+class TestMultiFoldSkewAndDrain:
+    @given(case=stepped_cases())
+    @settings(max_examples=25, deadline=None)
+    def test_fold_boundaries_chain_through_drain_overlap(self, case):
+        params, config, weight, ifm = case
+        res = simulate_array(
+            params, config, weight, ifm, granularity="wave", collect_planes=True
+        )
+        tiling = tile_gemm(params, config.rows, config.cols)
+        mac = config.mac_cycles
+        vectors = params.oh * params.ow
+        offset = 0
+        for fold, tile in zip(res.folds, tiling):
+            ts = schedule_tile(tile, mac)
+            # Fold start = sum of earlier preload+stream costs: the drain
+            # of every non-final fold hides under the next preload.
+            assert fold.start_cycle == offset
+            assert fold.preload_cycles == ts.preload_cycles
+            assert fold.first_launch_cycle == offset + ts.preload_cycles
+            assert fold.last_mac_finish == offset + ts.total_cycles
+            # Launch skew: PE(r, c) admits vector 0 exactly r + c cycles
+            # after the fold's first launch, in every fold.
+            launch = res.launch_planes[fold.index]
+            skew = (
+                np.arange(tile.rows)[:, None] + np.arange(tile.cols)[None, :]
+            )
+            assert np.array_equal(launch, fold.first_launch_cycle + skew)
+            # Drain: each (v, c) column sum lands one MAC after its
+            # bottom-row launch, spaced one MAC apart down the vectors.
+            finish = res.finish_planes[fold.index]
+            bottom = launch[tile.rows - 1, :]
+            expected = bottom[None, :] + mac * (1 + np.arange(vectors))[:, None]
+            assert np.array_equal(finish, expected)
+            offset += ts.preload_cycles + ts.stream_cycles
+        assert res.compute_cycles == res.folds[-1].last_mac_finish
+
+    @given(case=stepped_cases())
+    @settings(max_examples=25, deadline=None)
+    def test_provenance_covers_every_output_exactly_once_per_fold(self, case):
+        params, config, weight, ifm = case
+        res = simulate_array(params, config, weight, ifm)
+        tiling = tile_gemm(params, config.rows, config.cols)
+        assert res.provenance.shape[0] == tiling.k_folds
+        expected = np.zeros_like(res.provenance)
+        for tile in tiling:
+            k_fold = tile.k_start // config.rows
+            expected[k_fold, :, tile.c_start : tile.c_start + tile.cols] += tile.rows
+        assert np.array_equal(res.provenance, expected)
+        assert (res.provenance.sum(axis=0) == params.window).all()
+
+
+class TestValidation:
+    def test_rejects_unknown_granularity(self):
+        params = GemmParams(name="g", ih=2, iw=2, ic=1, wh=1, ww=1, oc=1, stride=1)
+        config = ArrayConfig(rows=1, cols=1, scheme=CS.BINARY_PARALLEL, bits=8)
+        w = np.zeros((1, 1, 1, 1), dtype=np.int64)
+        x = np.zeros((2, 2, 1), dtype=np.int64)
+        with pytest.raises(ValueError, match="granularity"):
+            simulate_array(params, config, w, x, granularity="picosecond")
+
+    def test_rejects_out_of_range_operands(self):
+        params = GemmParams(name="g", ih=2, iw=2, ic=1, wh=1, ww=1, oc=1, stride=1)
+        config = ArrayConfig(rows=1, cols=1, scheme=CS.BINARY_PARALLEL, bits=4)
+        w = np.full((1, 1, 1, 1), 8, dtype=np.int64)  # == 2**(4-1)
+        x = np.zeros((2, 2, 1), dtype=np.int64)
+        with pytest.raises(ValueError, match="range"):
+            simulate_array(params, config, w, x)
+
+    def test_rejects_float_operands(self):
+        params = GemmParams(name="g", ih=2, iw=2, ic=1, wh=1, ww=1, oc=1, stride=1)
+        config = ArrayConfig(rows=1, cols=1, scheme=CS.BINARY_PARALLEL, bits=8)
+        w = np.zeros((1, 1, 1, 1), dtype=np.float64)
+        x = np.zeros((2, 2, 1), dtype=np.int64)
+        with pytest.raises(ValueError, match="integer"):
+            simulate_array(params, config, w, x)

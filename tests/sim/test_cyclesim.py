@@ -93,3 +93,48 @@ def test_golden_matches_closed_form_property(rows, cols, vectors, scheme_ebt):
     ts = schedule_tile(tile, mac)
     assert res.last_mac_finish == ts.total_cycles
     assert res.pe_busy_cycles == rows * cols * vectors * mac
+
+
+class TestCycleLimit:
+    """Regression: budget overruns raise a structured error, not a bare one."""
+
+    def test_structured_error_carries_machine_state(self):
+        from repro.sim.cyclesim import CycleLimitError
+
+        w, x = _operands(3, 3, 8, seed=1)
+        with pytest.raises(CycleLimitError) as excinfo:
+            simulate_fold(w, x, CS.USYSTOLIC_RATE, ebt=6, max_cycles=10)
+        err = excinfo.value
+        assert err.max_cycles == 10
+        assert err.pending_macs > 0
+        assert err.cycle > err.max_cycles
+        assert "pending" in str(err)
+        assert str(err.pending_macs) in str(err)
+
+    def test_limit_error_is_a_runtime_error(self):
+        from repro.sim.cyclesim import CycleLimitError
+
+        assert issubclass(CycleLimitError, RuntimeError)
+
+    def test_generous_budget_still_completes(self):
+        w, x = _operands(2, 2, 2, seed=2)
+        res = simulate_fold(w, x, CS.BINARY_PARALLEL, max_cycles=1_000)
+        assert res.total_cycles > 0
+
+    def test_arraysim_steppers_share_the_error(self):
+        from repro.core.config import ArrayConfig
+        from repro.gemm.params import GemmParams
+        from repro.sim.arraysim import simulate_array
+        from repro.sim.cyclesim import CycleLimitError
+
+        params = GemmParams(name="lim", ih=4, iw=4, ic=2, wh=2, ww=2, oc=3, stride=1)
+        config = ArrayConfig(rows=2, cols=2, scheme=CS.USYSTOLIC_RATE, bits=8, ebt=4)
+        rng = np.random.default_rng(0)
+        w = rng.integers(-100, 101, size=(3, 2, 2, 2))
+        x = rng.integers(-100, 101, size=(4, 4, 2))
+        for granularity in ("wave", "cycle"):
+            with pytest.raises(CycleLimitError) as excinfo:
+                simulate_array(
+                    params, config, w, x, granularity=granularity, max_cycles=20
+                )
+            assert excinfo.value.pending_macs > 0

@@ -1,0 +1,85 @@
+"""Mutation checks for the stepped-array oracle.
+
+Two bugs are planted in :mod:`repro.sim.arraysim` — an off-by-one in the
+per-column launch lag and an off-by-one in the fold-boundary psum
+accumulation — and both must be (a) caught by the ``array`` differential
+surface and (b) shrunk by the fuzzer to a counterexample with at most
+three non-default fields, mirroring the ``hub_mac_row`` mutation bar in
+``test_mutation.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import arraysim
+from repro.verify.diff import VerifyCase, run_case
+from repro.verify.fuzz import run_fuzz
+
+_REAL_ACCUMULATE = arraysim._accumulate_fold
+
+
+def _off_by_one_accumulate(psums, provenance, tile, k_fold, fold_psums):
+    """The planted bug: reduction folds land one fold index too early."""
+    _REAL_ACCUMULATE(psums, provenance, tile, max(0, k_fold - 1), fold_psums)
+
+
+@pytest.fixture
+def lag_mutant(monkeypatch):
+    monkeypatch.setattr(arraysim, "_COLUMN_LAG", 2)
+
+
+@pytest.fixture
+def fold_mutant(monkeypatch):
+    monkeypatch.setattr(arraysim, "_accumulate_fold", _off_by_one_accumulate)
+
+
+class TestColumnLagMutant:
+    def test_minimal_two_column_case_detects(self, lag_mutant):
+        # The lag only matters once a tile spans >= 2 columns.
+        report = run_case(VerifyCase(kind="array", oc=2))
+        assert not report.ok
+        assert report.mismatches[0].check == "array.compute_cycles"
+        assert report.mismatches[0].delta == 1.0
+
+    def test_single_column_case_is_blind_to_it(self, lag_mutant):
+        assert run_case(VerifyCase(kind="array")).ok
+
+    def test_fuzz_finds_and_shrinks(self, lag_mutant, tmp_path):
+        # jobs=1 keeps execution in-process so the monkeypatch is seen.
+        result = run_fuzz(
+            seed=0, budget=40, jobs=1, out_dir=tmp_path / "cx", engine="array"
+        )
+        assert not result.ok, "the column-lag mutation must be detected"
+        worst = max(
+            len(report.case.nondefault_fields()) for report in result.failures
+        )
+        assert worst <= 3, "counterexamples must shrink to <= 3 fields"
+        assert result.written, "failures must be persisted for replay"
+
+
+class TestFoldAccumulationMutant:
+    def test_minimal_two_fold_case_detects(self, fold_mutant):
+        # The mutant only bites with >= 2 reduction folds: wh=3 makes
+        # K = 3 > rows = 2 at otherwise-default minimal geometry.
+        report = run_case(VerifyCase(kind="array", wh=3))
+        assert not report.ok
+        checks = {m.check for m in report.mismatches}
+        assert "array.provenance.per_fold" in checks
+
+    def test_single_fold_case_is_blind_to_it(self, fold_mutant):
+        assert run_case(VerifyCase(kind="array")).ok
+
+    def test_fuzz_finds_and_shrinks(self, fold_mutant, tmp_path):
+        result = run_fuzz(
+            seed=1, budget=40, jobs=1, out_dir=tmp_path / "cx", engine="array"
+        )
+        assert not result.ok, "the fold-accumulation mutation must be detected"
+        worst = max(
+            len(report.case.nondefault_fields()) for report in result.failures
+        )
+        assert worst <= 3, "counterexamples must shrink to <= 3 fields"
+
+
+def test_clean_tree_after_restore():
+    assert run_case(VerifyCase(kind="array", oc=2, wh=3)).ok

@@ -91,7 +91,7 @@ class TestRunCase:
         assert all(report.ok for report in reports)
         # Every surface must actually be exercised by the grid.
         kinds = {report.case.kind for report in reports}
-        assert kinds == {"kernel", "engine", "functional"}
+        assert kinds == {"kernel", "engine", "functional", "array"}
 
     def test_report_json_shape(self):
         report = run_case(VerifyCase(kind="kernel", bits=5, ifm=3, weights=(7,)))

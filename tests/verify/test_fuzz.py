@@ -36,7 +36,17 @@ class TestGeneration:
     def test_all_kinds_drawn(self):
         rng = np.random.default_rng(0)
         kinds = {generate_case(rng).kind for _ in range(60)}
-        assert kinds == {"kernel", "engine", "functional"}
+        assert kinds == {"kernel", "engine", "functional", "array"}
+
+    def test_pinned_kind_draws_only_that_surface(self):
+        rng = np.random.default_rng(0)
+        cases = [generate_case(rng, kind="array") for _ in range(15)]
+        assert {case.kind for case in cases} == {"array"}
+        assert len({case_key(case) for case in cases}) > 1
+
+    def test_pinned_kind_rejects_unknown_surface(self):
+        with pytest.raises(ValueError, match="unknown case kind"):
+            generate_case(np.random.default_rng(0), kind="quantum")
 
     def test_generated_cases_are_valid(self):
         rng = np.random.default_rng(3)
