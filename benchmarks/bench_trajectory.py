@@ -19,7 +19,10 @@ ROADMAP names:
   = requests pushed through a sharded heterogeneous autoscaled fleet
   per wall second, including the canonical ledger merge);
 - **verify** — differential fuzzing (``execs_per_s`` = fuzz cases
-  executed per wall second, seeded).
+  executed per wall second, seeded);
+- **analysis** — the static-analysis suite itself (``files_per_s`` =
+  source files pushed through the abstract-interpretation ``shape`` and
+  ``bound`` passes per wall second, whole ``src/`` tree).
 
 Modes::
 
@@ -84,6 +87,7 @@ AREAS = {
     "serve": ("BENCH_serve.json", "requests_per_s"),
     "fleet": ("BENCH_fleet.json", "requests_per_s"),
     "verify": ("BENCH_verify.json", "execs_per_s"),
+    "analysis": ("BENCH_analysis.json", "files_per_s"),
 }
 
 
@@ -261,12 +265,37 @@ def bench_verify(quick: bool = False) -> dict:
     }
 
 
+def bench_analysis(quick: bool = False) -> dict:
+    """Abstract-interpretation lint throughput over the repo's own tree.
+
+    The headline is files per wall second through the ``shape`` +
+    ``bound`` passes — the interval/shape interpreter dominates, so the
+    number tracks the cost of the whole-``src/`` CI lint step.  Quick
+    mode restricts the scan to the analysis package itself.
+    """
+    from repro.analysis import analyze  # noqa: E402 (sits above eager imports)
+
+    target = REPO_ROOT / "src" / "repro"
+    if quick:
+        target = target / "analysis"
+    start = time.perf_counter()
+    result = analyze([target], select=["shape", "bound"])
+    wall_s = time.perf_counter() - start
+    return {
+        "files_per_s": result.files_scanned / wall_s,
+        "files_scanned": result.files_scanned,
+        "findings": len(result.findings),
+        "analysis_wall_s": wall_s,
+    }
+
+
 _RUNNERS = {
     "sim": bench_sim,
     "arraysim": bench_arraysim,
     "serve": bench_serve,
     "fleet": bench_fleet,
     "verify": bench_verify,
+    "analysis": bench_analysis,
 }
 
 
@@ -357,7 +386,9 @@ def profile_to_json(stats: pstats.Stats, top: int = 80) -> dict:
 def main(argv: list[str] | None = None) -> int:
     """Run the micro-benchmarks; 0 ok, 1 regression gate failure."""
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument("--areas", default="sim,arraysim,serve,fleet,verify")
+    parser.add_argument(
+        "--areas", default="sim,arraysim,serve,fleet,verify,analysis"
+    )
     parser.add_argument("--out-dir", default=str(REPO_ROOT))
     parser.add_argument("--label", default="unlabelled run")
     parser.add_argument(

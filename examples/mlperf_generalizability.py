@@ -21,6 +21,8 @@ from repro.workloads.presets import CLOUD, EDGE
 def model_row(name, layers, platform):
     convs = sum(1 for l in layers if l.gemm_type is GemmType.CONVOLUTION)
     utils = [tile_gemm(l, platform.rows, platform.cols).utilization for l in layers]
+    if not utils:
+        raise ValueError(f"model {name!r} has no layers")
     util = sum(utils) / len(utils)
 
     ur = simulate_network(
@@ -36,6 +38,8 @@ def model_row(name, layers, platform):
         for u, b in zip(ur, bp)
         if b.energy_efficiency() > 0
     ]
+    if not eei:
+        raise ValueError(f"model {name!r} has no positive-efficiency layers")
     return [
         name,
         len(layers),

@@ -1,0 +1,1434 @@
+"""Interprocedural abstract interpreter: intervals + symbolic shapes.
+
+This module turns the per-function dataflow machinery of
+``repro.analysis.cfg``/``dataflow`` into a whole-program abstract
+interpreter over two domains at once:
+
+- the numeric **interval lattice** (:mod:`repro.analysis.intervals`) for
+  every local scalar — constants, ``len()`` facts, arithmetic,
+  comparisons refining each branch via ``CFG.cond_edges``;
+- the **symbolic shape domain** (:mod:`repro.analysis.shapes`) for every
+  local ndarray — ``np.zeros``/``reshape``/``transpose``/``matmul``/
+  ``concatenate``/``stack``/broadcasting and basic slicing.
+
+Loop heads apply :meth:`~repro.analysis.intervals.Interval.widen` to the
+incoming fact, so the analysis terminates on the infinite-height
+interval lattice *without* ever leaning on :func:`~repro.analysis.dataflow.solve`'s
+damping budget (the regression test pins ``SolveStats.damped == 0``); a
+bounded descending pass then uses
+:meth:`~repro.analysis.intervals.Interval.narrow` to recover finite
+bounds that widening threw to infinity.
+
+Facts flow across calls through a bottom-up **summary cache**
+(:class:`Interpreter`): an in-project callee resolved via ``modgraph``
+is analysed once, its joined return value is externalised to
+``param:<name>`` symbols, and call sites substitute the abstract
+arguments — dataclass constructors bind their field values to
+``obj.field`` pseudo-locals, like the FLOW checker's signature model.
+Recursive cycles fall back to ⊤, which keeps the cache computation a
+finite bottom-up pass over the call graph.
+
+The ``shape`` (:mod:`repro.analysis.shapecheck`) and ``bound``
+(:mod:`repro.analysis.bounds`) checkers evaluate expressions against the
+post-fixpoint environments exposed here and report only **provable**
+conflicts — the interpreter prefers silence to a false positive.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import math
+import weakref
+from typing import Any, Iterator
+
+from .cfg import BasicBlock, build_cfg
+from .dataflow import _NP_ARRAY_FUNCS, DataflowAnalysis, SolveStats, solve
+from .intervals import BOTTOM, TOP, Interval
+from .modgraph import ModuleIndex, ModuleInfo, SymbolDef, resolve_callee
+from .shapes import (
+    Dim,
+    Shape,
+    broadcast,
+    concatenate,
+    matmul,
+    reshape,
+    stack,
+    transpose,
+)
+
+__all__ = [
+    "AbsValue",
+    "FunctionAnalysis",
+    "FunctionSummary",
+    "Interpreter",
+    "IntervalProblem",
+    "interpreter_for",
+    "join_env",
+    "narrow_env",
+    "widen_env",
+]
+
+
+# -- the combined abstract value ------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class AbsValue:
+    """One abstract value: numeric range, optional shape, optional symbol.
+
+    ``shape`` is ``None`` for a definite non-array and for a complete
+    unknown; an array fact always carries a shape (``Shape.top()`` when
+    only arrayness is known).  ``sym`` names a value that is equal to
+    itself across occurrences (``param:oc``, ``cfg.rows``) even when the
+    numeric range is unknown.  ``tup`` holds the element values of a
+    tuple/list literal, so ``np.zeros((r, c))`` sees its extents.
+    """
+
+    ival: Interval = TOP
+    shape: Shape | None = None
+    sym: str | None = None
+    tup: tuple["AbsValue", ...] | None = None
+
+    @staticmethod
+    def top() -> "AbsValue":
+        """The unknown value."""
+        return _TOP_VALUE
+
+    @staticmethod
+    def of_interval(ival: Interval, sym: str | None = None) -> "AbsValue":
+        """A scalar fact."""
+        return AbsValue(ival=ival, sym=sym)
+
+    @staticmethod
+    def of_shape(shape: Shape) -> "AbsValue":
+        """An array fact."""
+        return AbsValue(ival=TOP, shape=shape)
+
+    @property
+    def is_array(self) -> bool:
+        """True when the value is known to be an ndarray."""
+        return self.shape is not None
+
+    @property
+    def is_top(self) -> bool:
+        """True when nothing at all is known."""
+        return (
+            self.ival.is_top
+            and self.shape is None
+            and self.sym is None
+            and self.tup is None
+        )
+
+    def join(self, other: "AbsValue") -> "AbsValue":
+        """Least upper bound across all components."""
+        if self.ival.is_bottom:
+            return other
+        if other.ival.is_bottom:
+            return self
+        shape: Shape | None
+        if self.shape is not None and other.shape is not None:
+            shape = self.shape.join(other.shape)
+        else:
+            shape = None
+        tup: tuple[AbsValue, ...] | None = None
+        if (
+            self.tup is not None
+            and other.tup is not None
+            and len(self.tup) == len(other.tup)
+        ):
+            tup = tuple(a.join(b) for a, b in zip(self.tup, other.tup))
+        return AbsValue(
+            ival=self.ival.join(other.ival),
+            shape=shape,
+            sym=self.sym if self.sym == other.sym else None,
+            tup=tup,
+        )
+
+    def widen(self, other: "AbsValue") -> "AbsValue":
+        """Widen every numeric component (shape dims and tuples too)."""
+        joined = self.join(other)
+        shape = joined.shape
+        if self.shape is not None and shape is not None:
+            shape = _widen_shape(self.shape, shape)
+        tup = joined.tup
+        if self.tup is not None and tup is not None:
+            tup = tuple(a.widen(b) for a, b in zip(self.tup, tup))
+        return dataclasses.replace(
+            joined, ival=self.ival.widen(joined.ival), shape=shape, tup=tup
+        )
+
+    def narrow(self, other: "AbsValue") -> "AbsValue":
+        """Recover the infinite bounds widening introduced."""
+        return dataclasses.replace(self, ival=self.ival.narrow(other.ival))
+
+    def meet_interval(self, ival: Interval) -> "AbsValue":
+        """Refine the numeric range (branch refinement)."""
+        return dataclasses.replace(self, ival=self.ival.meet(ival))
+
+    def as_dim(self) -> Dim:
+        """This scalar as one shape axis."""
+        return Dim(ival=self.ival.meet(Interval.nonneg()), sym=self.sym)
+
+    def __str__(self) -> str:
+        if self.shape is not None:
+            return f"ndarray{self.shape}"
+        return str(self.ival)
+
+
+_TOP_VALUE = AbsValue()
+
+
+def _widen_shape(prev: Shape, new: Shape) -> Shape:
+    if prev.dims is None or new.dims is None:
+        return Shape.top()
+    if len(prev.dims) != len(new.dims):
+        return Shape.top()
+    return Shape(
+        dims=tuple(
+            Dim(ival=a.ival.widen(b.ival), sym=b.sym)
+            for a, b in zip(prev.dims, new.dims)
+        )
+    )
+
+
+# -- environments ----------------------------------------------------------
+
+Env = dict  # str -> AbsValue; a missing key is ⊤.
+
+
+def join_env(a: Env, b: Env) -> Env:
+    """Key-wise join; a key absent on either side is ⊤ and drops out."""
+    out: Env = {}
+    for name, value in a.items():
+        other = b.get(name)
+        if other is None:
+            continue
+        joined = value.join(other)
+        if not joined.is_top:
+            out[name] = joined
+    return out
+
+
+def widen_env(prev: Env, new: Env) -> Env:
+    """Key-wise widening against the previous loop-head fact."""
+    out: Env = {}
+    for name, value in prev.items():
+        other = new.get(name)
+        if other is None:
+            continue
+        widened = value.widen(other)
+        if not widened.is_top:
+            out[name] = widened
+    return out
+
+
+def narrow_env(widened: Env, recomputed: Env) -> Env:
+    """Key-wise narrowing of a widened fact by a descending recompute."""
+    out: Env = dict(widened)
+    for name, value in widened.items():
+        other = recomputed.get(name)
+        if other is not None:
+            out[name] = value.narrow(other)
+    return out
+
+
+# -- the dataflow problem --------------------------------------------------
+
+
+class IntervalProblem(DataflowAnalysis):
+    """Forward interval+shape propagation with loop-head widening.
+
+    The transfer delegates to an :class:`Interpreter` for expression
+    evaluation (so in-project call summaries apply); ``edge_transfer``
+    refines the fact by the branch condition recorded in
+    ``CFG.cond_edges``.  Widening happens *inside* the transfer at loop
+    heads, which is what keeps :func:`solve`'s damping budget untouched.
+    """
+
+    direction = "forward"
+
+    def __init__(self, analysis: "FunctionAnalysis") -> None:
+        self._fa = analysis
+        self._cfg = analysis.cfg
+        self._heads = {loop.head for loop in analysis.cfg.loops}
+        self._head_prev: dict[int, Env] = {}
+
+    def boundary(self) -> Env:
+        return dict(self._fa.entry_env)
+
+    def initial(self) -> Env:
+        return {}
+
+    def join(self, a: Env, b: Env) -> Env:
+        return join_env(a, b)
+
+    def transfer(self, block: BasicBlock, fact: Env) -> Env:
+        if block.bid in self._heads:
+            prev = self._head_prev.get(block.bid)
+            if prev is not None:
+                fact = widen_env(prev, join_env(prev, fact))
+            self._head_prev[block.bid] = dict(fact)
+        env = dict(fact)
+        for stmt in block.stmts:
+            self._fa.step(stmt, env)
+        return env
+
+    def edge_transfer(self, src: BasicBlock, dst: int, fact: Env) -> Env:
+        polarity = self._cfg.cond_edges.get((src.bid, dst))
+        if polarity is None or not src.stmts:
+            return fact
+        stmt = src.stmts[-1]
+        if isinstance(stmt, (ast.If, ast.While)):
+            return self._fa.refine(dict(fact), stmt.test, polarity)
+        return fact
+
+
+# -- per-function analysis -------------------------------------------------
+
+#: numpy constructors taking a shape as their first argument.
+_NP_SHAPE_CTORS = {"zeros", "ones", "empty", "full"}
+#: numpy constructors copying the argument's shape.
+_NP_LIKE_CTORS = {"zeros_like", "ones_like", "empty_like", "full_like"}
+#: array methods that are shape-preserving.
+_SHAPE_PRESERVING_METHODS = {"astype", "copy", "clip", "round", "view"}
+
+_NARROWING_PASSES = 2
+
+
+class FunctionAnalysis:
+    """Post-fixpoint interval/shape environments of one function."""
+
+    def __init__(
+        self,
+        interp: "Interpreter",
+        info: ModuleInfo,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> None:
+        self.interp = interp
+        self.info = info
+        self.func = func
+        self.cfg = build_cfg(func)
+        self.entry_env = self._param_env()
+        self.stats = SolveStats()
+        self.problem = IntervalProblem(self)
+        problem = self.problem
+        solution = solve(self.cfg, problem, stats=self.stats)
+        self.block_in: dict[int, Env] = {
+            bid: pair[0] for bid, pair in solution.items()
+        }
+        self._block_out: dict[int, Env] = {
+            bid: pair[1] for bid, pair in solution.items()
+        }
+        self._narrow(problem)
+
+    # -- setup -----------------------------------------------------------
+
+    def _param_env(self) -> Env:
+        env: Env = {}
+        args = self.func.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if arg.arg in ("self", "cls"):
+                continue
+            env[arg.arg] = self._param_value(arg)
+        return env
+
+    def _param_value(self, arg: ast.arg) -> AbsValue:
+        sym = f"param:{arg.arg}"
+        ann = arg.annotation
+        if _annotation_is_array(ann):
+            return AbsValue(ival=TOP, shape=Shape.top(), sym=sym)
+        return AbsValue(ival=TOP, sym=sym)
+
+    def _narrow(self, problem: IntervalProblem) -> None:
+        """Bounded descending passes recovering widened bounds."""
+        order = sorted(self.cfg.blocks)
+        for _ in range(_NARROWING_PASSES):
+            changed = False
+            for bid in order:
+                if bid == self.cfg.entry:
+                    continue
+                block = self.cfg.blocks[bid]
+                fact: Env | None = None
+                for pred in block.preds:
+                    along = problem.edge_transfer(
+                        self.cfg.blocks[pred], bid, self._block_out[pred]
+                    )
+                    fact = along if fact is None else join_env(fact, along)
+                if fact is None:
+                    continue
+                narrowed = narrow_env(self.block_in[bid], fact)
+                if narrowed != self.block_in[bid]:
+                    self.block_in[bid] = narrowed
+                    changed = True
+                env = dict(narrowed)  # repro-lint: ignore[perf]
+                for stmt in block.stmts:
+                    self.step(stmt, env)
+                if env != self._block_out[bid]:
+                    self._block_out[bid] = env
+                    changed = True
+            if not changed:
+                break
+
+    # -- queries ---------------------------------------------------------
+
+    def env_before(self, bid: int, index: int) -> Env:
+        """The environment just before statement ``index`` of block ``bid``."""
+        env = dict(self.block_in.get(bid, {}))
+        for stmt in self.cfg.blocks[bid].stmts[:index]:
+            self.step(stmt, env)
+        return env
+
+    def statements(self) -> Iterator[tuple[ast.stmt, Env]]:
+        """Every shallow statement with the environment before it."""
+        for bid in sorted(self.cfg.blocks):
+            env = dict(self.block_in.get(bid, {}))
+            for stmt in self.cfg.blocks[bid].stmts:
+                # Each yielded env is a defensive snapshot: step() mutates.
+                yield stmt, dict(env)  # repro-lint: ignore[perf]
+                self.step(stmt, env)
+
+    def return_value(self) -> AbsValue:
+        """Join of every ``return`` expression's abstract value."""
+        result: AbsValue | None = None
+        for stmt, env in self.statements():
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                value = self.eval(stmt.value, env)
+                result = value if result is None else result.join(value)
+        return result if result is not None else AbsValue.top()
+
+    # -- transfer --------------------------------------------------------
+
+    def step(self, stmt: ast.stmt, env: Env) -> None:
+        """Mutate ``env`` with the effect of one shallow statement."""
+        if isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value, env)
+            for target in stmt.targets:
+                self._bind(target, stmt.value, value, env)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            value = self.eval(stmt.value, env)
+            self._bind(stmt.target, stmt.value, value, env)
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                current = env.get(stmt.target.id, AbsValue.top())
+                operand = self.eval(stmt.value, env)
+                env[stmt.target.id] = self._binop(
+                    stmt.op, current, operand, env
+                )
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._bind_loop_target(stmt, env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    self._bind(
+                        item.optional_vars, None, AbsValue.top(), env
+                    )
+        elif isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            env.pop(stmt.name, None)
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                env.pop(alias.asname or alias.name.partition(".")[0], None)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+
+    def _bind(
+        self,
+        target: ast.AST,
+        value_expr: ast.expr | None,
+        value: AbsValue,
+        env: Env,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            _drop_attrs(env, target.id)
+            if value.is_top:
+                env.pop(target.id, None)
+            else:
+                env[target.id] = value
+            if isinstance(value_expr, ast.Constant) and isinstance(
+                value_expr.value, (str, bytes)
+            ):
+                env[f"len({target.id})"] = AbsValue.of_interval(
+                    Interval.const(len(value_expr.value))
+                )
+            if value_expr is not None:
+                self._bind_ctor_fields(target.id, value_expr, env)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elements = value.tup
+            for i, elt in enumerate(target.elts):
+                element = (
+                    elements[i]
+                    if elements is not None and i < len(elements)
+                    and not isinstance(elt, ast.Starred)
+                    else AbsValue.top()
+                )
+                self._bind(elt, None, element, env)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, None, AbsValue.top(), env)
+        elif isinstance(target, ast.Attribute):
+            key = _attr_key(target)
+            if key is not None:
+                if value.is_top:
+                    env.pop(key, None)
+                else:
+                    env[key] = value
+
+    def _bind_ctor_fields(
+        self, name: str, value_expr: ast.expr, env: Env
+    ) -> None:
+        """``x = Ctor(...)``: bind ``x.field`` pseudo-locals for fields."""
+        if not isinstance(value_expr, ast.Call):
+            return
+        fields = self.interp.ctor_fields(self.info, value_expr, env, self)
+        for field, value in fields.items():
+            if not value.is_top:
+                env[f"{name}.{field}"] = value
+
+    def _bind_loop_target(
+        self, stmt: ast.For | ast.AsyncFor, env: Env
+    ) -> None:
+        element = AbsValue.top()
+        iterable = stmt.iter
+        if (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id == "range"
+            and not iterable.keywords
+        ):
+            element = AbsValue.of_interval(self._range_interval(iterable, env))
+        elif isinstance(iterable, (ast.Tuple, ast.List)) and iterable.elts:
+            values = [self.eval(e, env) for e in iterable.elts]
+            element = values[0]
+            for value in values[1:]:
+                element = element.join(value)
+        self._bind(stmt.target, None, element, env)
+
+    def _range_interval(self, call: ast.Call, env: Env) -> Interval:
+        args = [self.eval(a, env).ival for a in call.args]
+        if not args or any(a.is_bottom for a in args):
+            return TOP
+        if len(args) == 1:
+            start, stop, step = Interval.const(0), args[0], Interval.const(1)
+        elif len(args) == 2:
+            start, stop, step = args[0], args[1], Interval.const(1)
+        else:
+            start, stop, step = args[0], args[1], args[2]
+        if step.lo > 0:
+            return Interval.range(start.lo, stop.hi - 1.0)
+        if step.hi < 0:
+            return Interval.range(stop.lo + 1.0, start.hi)
+        return Interval.range(
+            min(start.lo, stop.lo + 1.0), max(start.hi, stop.hi - 1.0)
+        )
+
+    # -- branch refinement -----------------------------------------------
+
+    def walk_refined(
+        self, root: ast.AST, env: Env
+    ) -> Iterator[tuple[ast.AST, Env]]:
+        """Yield ``(node, env)`` for every node under ``root``.
+
+        Unlike ``ast.walk``, conditional subexpressions see the
+        branch-refined environment: the body of ``x / n if n else 0.0``
+        is visited with ``n`` known nonzero, and the right operand of
+        ``n and x / n`` with the left clause known truthy — so checkers
+        evaluating subexpressions in the yielded env respect inline
+        guards exactly as the statement-level CFG respects ``if``.
+        """
+        yield root, env
+        if isinstance(root, ast.IfExp):
+            yield from self.walk_refined(root.test, env)
+            yield from self.walk_refined(
+                root.body, self.refine(dict(env), root.test, True)
+            )
+            yield from self.walk_refined(
+                root.orelse, self.refine(dict(env), root.test, False)
+            )
+            return
+        if isinstance(root, ast.BoolOp):
+            polarity = isinstance(root.op, ast.And)
+            current = env
+            for clause in root.values:
+                yield from self.walk_refined(clause, current)
+                current = self.refine(dict(current), clause, polarity)
+            return
+        for child in ast.iter_child_nodes(root):
+            yield from self.walk_refined(child, env)
+
+    def refine(self, env: Env, test: ast.expr, polarity: bool) -> Env:
+        """Narrow ``env`` by ``test`` holding (or not holding)."""
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            return self.refine(env, test.operand, not polarity)
+        if isinstance(test, ast.BoolOp):
+            conjunctive = isinstance(test.op, ast.And) == polarity
+            if conjunctive:
+                # `a and b` true, or `a or b` false: every clause known.
+                for clause in test.values:
+                    env = self.refine(env, clause, polarity)
+            return env
+        if isinstance(test, ast.Compare) and len(test.ops) == 1:
+            return self._refine_compare(
+                env, test.left, test.ops[0], test.comparators[0], polarity
+            )
+        # Truthiness of a name / length: `if n:` excludes 0.  A truthy
+        # container also has nonzero length, so the `len(key)` pseudo-key
+        # is refined alongside — that is what proves `sum(xs) / len(xs)`
+        # safe under an `if xs:` (or `... if xs else 0.0`) guard.
+        key = self._refinement_key(test)
+        if key is not None:
+            if polarity:
+                self._exclude_key(env, key, 0.0)
+                if not key.startswith("len("):
+                    self._exclude_key(env, f"len({key})", 0.0)
+            else:
+                self._meet_key(env, key, Interval.const(0))
+                if not key.startswith("len("):
+                    self._meet_key(env, f"len({key})", Interval.const(0))
+        return env
+
+    def _refine_compare(
+        self,
+        env: Env,
+        left: ast.expr,
+        op: ast.cmpop,
+        right: ast.expr,
+        polarity: bool,
+    ) -> Env:
+        if not polarity:
+            flipped = _negate_op(op)
+            if flipped is None:
+                return env
+            op = flipped
+        left_key = self._refinement_key(left)
+        right_key = self._refinement_key(right)
+        left_ival = self.eval(left, env).ival
+        right_ival = self.eval(right, env).ival
+        if isinstance(op, ast.NotEq):
+            # `!=` can only slice a point off an interval's endpoint.
+            if left_key is not None and right_ival.is_const:
+                self._exclude_key(env, left_key, right_ival.lo)
+            if right_key is not None and left_ival.is_const:
+                self._exclude_key(env, right_key, left_ival.lo)
+            return env
+        if left_key is not None:
+            self._meet_key(env, left_key, _bound_by(op, right_ival, True))
+        if right_key is not None:
+            self._meet_key(env, right_key, _bound_by(op, left_ival, False))
+        return env
+
+    def _refinement_key(self, expr: ast.expr) -> str | None:
+        """The env key a comparison can refine, if any."""
+        if isinstance(expr, ast.Name):
+            return expr.id
+        if isinstance(expr, ast.Attribute):
+            return _attr_key(expr)
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id == "len"
+            and len(expr.args) == 1
+        ):
+            inner = self._refinement_key(expr.args[0])
+            return f"len({inner})" if inner is not None else None
+        return None
+
+    def _meet_key(self, env: Env, key: str, ival: Interval) -> None:
+        current = self._current(env, key)
+        refined = current.meet_interval(ival)
+        if not refined.is_top:
+            env[key] = refined
+
+    def _exclude_key(self, env: Env, key: str, point: float) -> None:
+        current = self._current(env, key)
+        excluded = _exclude_point(current.ival, point)
+        if not excluded.is_top:
+            env[key] = dataclasses.replace(current, ival=excluded)
+
+    @staticmethod
+    def _current(env: Env, key: str) -> AbsValue:
+        current = env.get(key)
+        if current is not None:
+            return current
+        if key.startswith("len("):
+            return AbsValue.of_interval(Interval.nonneg())
+        return AbsValue.top()
+
+    # -- expression evaluation -------------------------------------------
+
+    def eval(self, expr: ast.expr, env: Env) -> AbsValue:
+        """Abstract value of ``expr`` in ``env``."""
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, bool):
+                return AbsValue.of_interval(Interval.const(int(expr.value)))
+            if isinstance(expr.value, (int, float)):
+                return AbsValue.of_interval(Interval.const(expr.value))
+            return AbsValue.top()
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id, AbsValue.top())
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            if any(isinstance(e, ast.Starred) for e in expr.elts):
+                return AbsValue.top()
+            return AbsValue(
+                ival=TOP, tup=tuple(self.eval(e, env) for e in expr.elts)
+            )
+        if isinstance(expr, (ast.ListComp, ast.GeneratorExp)):
+            # A single unconditional generator over a literal sequence
+            # yields exactly one element per literal — enough to prove
+            # the length of `[f(c) for c in ("a", "b", "c")]`.
+            if (
+                len(expr.generators) == 1
+                and not expr.generators[0].ifs
+                and not expr.generators[0].is_async
+                and isinstance(expr.generators[0].iter, (ast.Tuple, ast.List))
+                and not any(
+                    isinstance(e, ast.Starred)
+                    for e in expr.generators[0].iter.elts
+                )
+            ):
+                return AbsValue(
+                    ival=TOP,
+                    tup=tuple(
+                        AbsValue.top() for _ in expr.generators[0].iter.elts
+                    ),
+                )
+            return AbsValue.top()
+        if isinstance(expr, ast.UnaryOp):
+            operand = self.eval(expr.operand, env)
+            if isinstance(expr.op, ast.USub):
+                return AbsValue.of_interval(operand.ival.neg())
+            if isinstance(expr.op, ast.UAdd):
+                return operand
+            if isinstance(expr.op, ast.Not):
+                return AbsValue.of_interval(Interval.range(0, 1))
+            return AbsValue.top()
+        if isinstance(expr, ast.BinOp):
+            left = self.eval(expr.left, env)
+            right = self.eval(expr.right, env)
+            return self._binop(expr.op, left, right, env)
+        if isinstance(expr, ast.BoolOp):
+            values = [self.eval(v, env) for v in expr.values]
+            result = values[0]
+            for value in values[1:]:
+                result = result.join(value)
+            return result
+        if isinstance(expr, ast.Compare):
+            return AbsValue.of_interval(Interval.range(0, 1))
+        if isinstance(expr, ast.IfExp):
+            then_env = self.refine(dict(env), expr.test, True)
+            else_env = self.refine(dict(env), expr.test, False)
+            return self.eval(expr.body, then_env).join(
+                self.eval(expr.orelse, else_env)
+            )
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, env)
+        if isinstance(expr, ast.Attribute):
+            return self._eval_attribute(expr, env)
+        if isinstance(expr, ast.Subscript):
+            return self._eval_subscript(expr, env)
+        if isinstance(expr, ast.Starred):
+            return self.eval(expr.value, env)
+        return AbsValue.top()
+
+    def _binop(
+        self, op: ast.operator, left: AbsValue, right: AbsValue, env: Env
+    ) -> AbsValue:
+        if isinstance(op, ast.MatMult):
+            if left.is_array and right.is_array:
+                result, _ = matmul(left.shape, right.shape)
+                return AbsValue.of_shape(result)
+            return AbsValue.top()
+        if left.is_array or right.is_array:
+            a = left.shape if left.shape is not None else Shape(dims=())
+            b = right.shape if right.shape is not None else Shape(dims=())
+            result, _ = broadcast(a, b)
+            return AbsValue.of_shape(result)
+        a, b = left.ival, right.ival
+        if isinstance(op, ast.Add):
+            return AbsValue.of_interval(a.add(b))
+        if isinstance(op, ast.Sub):
+            return AbsValue.of_interval(a.sub(b))
+        if isinstance(op, ast.Mult):
+            return AbsValue.of_interval(a.mul(b))
+        if isinstance(op, ast.Div):
+            return AbsValue.of_interval(a.truediv(b))
+        if isinstance(op, ast.FloorDiv):
+            return AbsValue.of_interval(a.floordiv(b))
+        if isinstance(op, ast.Mod):
+            return AbsValue.of_interval(a.mod(b))
+        if isinstance(op, ast.Pow):
+            if b.is_const and b.lo >= 0 and a.lo >= 0:
+                hi = a.hi ** b.lo if a.hi != math.inf else math.inf
+                return AbsValue.of_interval(
+                    Interval.range(a.lo ** b.lo, hi)
+                )
+            return AbsValue.top()
+        return AbsValue.top()
+
+    # -- calls -----------------------------------------------------------
+
+    def _eval_call(self, call: ast.Call, env: Env) -> AbsValue:
+        func = call.func
+        if isinstance(func, ast.Name):
+            builtin = self._eval_builtin(func.id, call, env)
+            if builtin is not None:
+                return builtin
+        if isinstance(func, ast.Attribute):
+            method = self._eval_method(func, call, env)
+            if method is not None:
+                return method
+        return self.interp.call_value(self.info, call, env, self)
+
+    def _eval_builtin(
+        self, name: str, call: ast.Call, env: Env
+    ) -> AbsValue | None:
+        args = call.args
+        if name == "len" and len(args) == 1 and not call.keywords:
+            value = self.eval(args[0], env)
+            if value.tup is not None:
+                return AbsValue.of_interval(Interval.const(len(value.tup)))
+            if value.is_array and value.shape.dims:
+                return AbsValue.of_interval(value.shape.dims[0].ival)
+            key = self._refinement_key(call)
+            if key is not None and key in env:
+                return env[key]
+            return AbsValue.of_interval(Interval.nonneg())
+        if name == "abs" and len(args) == 1:
+            ival = self.eval(args[0], env).ival
+            if ival.is_bottom:
+                return AbsValue.of_interval(BOTTOM)
+            candidates = (abs(ival.lo), abs(ival.hi))
+            lo = 0.0 if ival.contains(0.0) else min(candidates)
+            return AbsValue.of_interval(Interval.range(lo, max(candidates)))
+        if name in ("min", "max") and len(args) >= 2:
+            ivals = [self.eval(a, env).ival for a in args]
+            if any(v.is_bottom for v in ivals):
+                return AbsValue.of_interval(BOTTOM)
+            pick = min if name == "min" else max
+            return AbsValue.of_interval(
+                Interval.range(
+                    pick(v.lo for v in ivals), pick(v.hi for v in ivals)
+                )
+            )
+        if name in ("int", "float") and len(args) == 1:
+            return AbsValue.of_interval(self.eval(args[0], env).ival)
+        if name in ("bool",):
+            return AbsValue.of_interval(Interval.range(0, 1))
+        return None
+
+    def _eval_method(
+        self, func: ast.Attribute, call: ast.Call, env: Env
+    ) -> AbsValue | None:
+        base = func.value
+        # numpy module functions through the import alias.
+        if (
+            isinstance(base, ast.Name)
+            and base.id in self.interp.numpy_aliases(self.info)
+        ):
+            return self._eval_numpy(func.attr, call, env)
+        base_value = self.eval(base, env)
+        if not base_value.is_array:
+            return None
+        shape = base_value.shape
+        if func.attr == "reshape":
+            target = self.reshape_target(call.args, env)
+            result, _ = reshape(shape, target)
+            return AbsValue.of_shape(result)
+        if func.attr == "transpose":
+            axes = self._const_int_args(call, env)
+            return AbsValue.of_shape(
+                transpose(shape, tuple(axes) if axes else None)
+            )
+        if func.attr in ("ravel", "flatten"):
+            return AbsValue.of_shape(
+                Shape(dims=(Dim(ival=shape.size()),))
+            )
+        if func.attr in _SHAPE_PRESERVING_METHODS:
+            return AbsValue.of_shape(shape)
+        if func.attr in ("sum", "prod", "mean", "min", "max"):
+            axis = _keyword(call, "axis")
+            if axis is None and not call.args:
+                return AbsValue.top()  # full reduction: a scalar
+            return AbsValue.of_shape(Shape.top())
+        if func.attr in ("tolist", "item"):
+            return AbsValue.top()
+        return None
+
+    def _eval_numpy(
+        self, attr: str, call: ast.Call, env: Env
+    ) -> AbsValue | None:
+        args = call.args
+        if attr in _NP_SHAPE_CTORS and args:
+            return AbsValue.of_shape(self.shape_from_arg(args[0], env))
+        if attr in _NP_LIKE_CTORS and args:
+            source = self.eval(args[0], env)
+            return AbsValue.of_shape(
+                source.shape if source.is_array else Shape.top()
+            )
+        if attr == "eye" and args:
+            n = self.eval(args[0], env).as_dim()
+            return AbsValue.of_shape(Shape(dims=(n, n)))
+        if attr == "arange":
+            ivals = [self.eval(a, env).ival for a in args]
+            if len(ivals) == 1 and ivals[0].is_const:
+                return AbsValue.of_shape(
+                    Shape(dims=(Dim.const(max(0, int(ivals[0].lo))),))
+                )
+            return AbsValue.of_shape(Shape(dims=(Dim.top(),)))
+        if attr == "linspace":
+            num = _keyword(call, "num")
+            if num is None and len(args) >= 3:
+                num = args[2]
+            if num is not None:
+                return AbsValue.of_shape(
+                    Shape(dims=(self.eval(num, env).as_dim(),))
+                )
+            return AbsValue.of_shape(Shape(dims=(Dim.const(50),)))
+        if attr in ("concatenate", "stack", "vstack", "hstack") and args:
+            shapes = self.sequence_shapes(args[0], env)
+            if shapes is None:
+                return AbsValue.of_shape(Shape.top())
+            axis = self.axis_of(call, env, default=0)
+            if attr == "stack":
+                result, _ = stack(shapes, axis if axis is not None else 0)
+            elif attr == "concatenate":
+                result, _ = concatenate(
+                    shapes, axis if axis is not None else 0
+                )
+            elif attr == "vstack":
+                result, _ = concatenate(shapes, 0)
+            else:  # hstack of >=1-D is concatenate on the last axis
+                result, _ = concatenate(shapes, -1 if shapes else 0)
+            return AbsValue.of_shape(result)
+        if attr in ("matmul", "dot") and len(args) == 2:
+            a = self.eval(args[0], env)
+            b = self.eval(args[1], env)
+            if a.is_array and b.is_array:
+                result, _ = matmul(a.shape, b.shape)
+                return AbsValue.of_shape(result)
+            return AbsValue.top()
+        if attr == "reshape" and len(args) >= 2:
+            source = self.eval(args[0], env)
+            if source.is_array:
+                target = self.shape_from_arg(args[1], env)
+                result, _ = reshape(source.shape, target)
+                return AbsValue.of_shape(result)
+            return AbsValue.of_shape(Shape.top())
+        if attr == "transpose" and args:
+            source = self.eval(args[0], env)
+            if source.is_array:
+                return AbsValue.of_shape(transpose(source.shape))
+            return AbsValue.of_shape(Shape.top())
+        if attr in ("array", "asarray", "ascontiguousarray") and args:
+            source = self.eval(args[0], env)
+            if source.is_array:
+                return source
+            if source.tup is not None:
+                return AbsValue.of_shape(
+                    Shape(dims=(Dim.const(len(source.tup)),))
+                )
+            return AbsValue.of_shape(Shape.top())
+        if attr in _NP_ARRAY_FUNCS:
+            return AbsValue.of_shape(Shape.top())
+        return None
+
+    # -- call helpers ----------------------------------------------------
+
+    def shape_from_arg(self, arg: ast.expr, env: Env) -> Shape:
+        """A shape argument: an int (1-D) or a tuple of extents."""
+        value = self.eval(arg, env)
+        if value.tup is not None:
+            return Shape(dims=tuple(v.as_dim() for v in value.tup))
+        if value.is_array:
+            return Shape.top()
+        if not value.ival.is_top or value.sym is not None:
+            return Shape(dims=(value.as_dim(),))
+        return Shape.top()
+
+    def reshape_target(self, args: list[ast.expr], env: Env) -> Shape:
+        """``a.reshape(t)`` / ``a.reshape(r, c)`` / a ``-1`` wildcard."""
+        if len(args) == 1:
+            return self.shape_from_arg(args[0], env)
+        dims = []
+        for arg in args:
+            value = self.eval(arg, env)
+            if value.ival.is_const and value.ival.lo == -1.0:
+                dims.append(Dim.top())
+            else:
+                dims.append(value.as_dim())
+        return Shape(dims=tuple(dims)) if dims else Shape.top()
+
+    def _const_int_args(self, call: ast.Call, env: Env) -> list[int] | None:
+        out = []
+        for arg in call.args:
+            value = self.eval(arg, env).ival
+            if not value.is_const:
+                return None
+            out.append(int(value.lo))
+        return out or None
+
+    def sequence_shapes(
+        self, arg: ast.expr, env: Env
+    ) -> list[Shape] | None:
+        if not isinstance(arg, (ast.Tuple, ast.List)):
+            return None
+        shapes = []
+        for elt in arg.elts:
+            value = self.eval(elt, env)
+            if not value.is_array:
+                return None
+            shapes.append(value.shape)
+        return shapes
+
+    def axis_of(
+        self, call: ast.Call, env: Env, default: int | None
+    ) -> int | None:
+        node = _keyword(call, "axis")
+        if node is None and len(call.args) >= 2:
+            node = call.args[1]
+        if node is None:
+            return default
+        value = self.eval(node, env).ival
+        return int(value.lo) if value.is_const else None
+
+    # -- attributes / subscripts -----------------------------------------
+
+    def _eval_attribute(self, expr: ast.Attribute, env: Env) -> AbsValue:
+        base = self.eval(expr.value, env)
+        if base.is_array:
+            shape = base.shape
+            if expr.attr == "T":
+                return AbsValue.of_shape(transpose(shape))
+            if expr.attr == "shape":
+                if shape.dims is None:
+                    return AbsValue.top()
+                return AbsValue(
+                    ival=TOP,
+                    tup=tuple(
+                        AbsValue(ival=d.ival, sym=d.sym) for d in shape.dims
+                    ),
+                )
+            if expr.attr == "size":
+                return AbsValue.of_interval(shape.size())
+            if expr.attr == "ndim":
+                if shape.rank is None:
+                    return AbsValue.of_interval(Interval.nonneg())
+                return AbsValue.of_interval(Interval.const(shape.rank))
+        key = _attr_key(expr)
+        if key is not None:
+            known = env.get(key)
+            if known is not None:
+                return known
+            return AbsValue(ival=TOP, sym=key)
+        return AbsValue.top()
+
+    def _eval_subscript(self, expr: ast.Subscript, env: Env) -> AbsValue:
+        base = self.eval(expr.value, env)
+        if base.tup is not None:
+            index = self.eval(expr.slice, env).ival
+            if index.is_const:
+                i = int(index.lo)
+                if -len(base.tup) <= i < len(base.tup):
+                    return base.tup[i]
+            return AbsValue.top()
+        if base.is_array and base.shape.dims is not None:
+            dims = base.shape.dims
+            if isinstance(expr.slice, ast.Tuple):
+                keys = expr.slice.elts
+            else:
+                keys = [expr.slice]
+            remaining = list(dims)
+            consumed = 0
+            for key in keys:
+                if isinstance(key, ast.Slice):
+                    if consumed < len(remaining):
+                        remaining[consumed] = Dim(
+                            ival=remaining[consumed].ival.meet(
+                                Interval.nonneg()
+                            )
+                        )
+                    consumed += 1
+                else:
+                    if consumed < len(remaining):
+                        del remaining[consumed]
+                    else:
+                        return AbsValue.top()
+            if not remaining:
+                return AbsValue.top()  # a scalar element
+            return AbsValue.of_shape(Shape(dims=tuple(remaining)))
+        return AbsValue.top()
+
+
+def _keyword(call: ast.Call, name: str) -> ast.expr | None:
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def _drop_attrs(env: Env, name: str) -> None:
+    """Rebinding ``name`` invalidates every dependent pseudo-local:
+    ``name.field`` attribute facts and ``len(name)``/``len(name.field)``
+    length facts alike."""
+    prefix = f"{name}."
+    length_prefix = f"len({name}."
+    length_key = f"len({name})"
+    for key in [
+        k
+        for k in env
+        if k.startswith(prefix)
+        or k == length_key
+        or k.startswith(length_prefix)
+    ]:
+        del env[key]
+
+
+def _attr_key(expr: ast.Attribute) -> str | None:
+    parts: list[str] = []
+    node: ast.AST = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _annotation_is_array(ann: ast.AST | None) -> bool:
+    if ann is None:
+        return False
+    for node in ast.walk(ann):
+        if isinstance(node, ast.Name) and node.id in ("ndarray", "NDArray"):
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in (
+            "ndarray",
+            "NDArray",
+        ):
+            return True
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if "ndarray" in node.value or "NDArray" in node.value:
+                return True
+    return False
+
+
+def _negate_op(op: ast.cmpop) -> ast.cmpop | None:
+    mapping: list[tuple[type, type]] = [
+        (ast.Lt, ast.GtE),
+        (ast.LtE, ast.Gt),
+        (ast.Gt, ast.LtE),
+        (ast.GtE, ast.Lt),
+        (ast.Eq, ast.NotEq),
+        (ast.NotEq, ast.Eq),
+    ]
+    for source, target in mapping:
+        if isinstance(op, source):
+            return target()
+    return None
+
+
+def _bound_by(op: ast.cmpop, other: Interval, is_left: bool) -> Interval:
+    """The interval the refined side must lie in for ``op`` to hold."""
+    if other.is_bottom:
+        return TOP
+    if not is_left:
+        flipped = {
+            ast.Lt: ast.Gt,
+            ast.LtE: ast.GtE,
+            ast.Gt: ast.Lt,
+            ast.GtE: ast.LtE,
+        }.get(type(op))
+        if flipped is not None:
+            op = flipped()
+    # Strict bounds tighten by one ulp, not one unit: the refined value
+    # may be a float (``rate_per_s > 0`` admits 0.5), so ``> c`` only
+    # proves ``>= nextafter(c)``.  That still strictly excludes the
+    # endpoint, which is all the divisor/negativity proofs need.  An
+    # infinite bound carries no information and stays put.
+    if isinstance(op, ast.Lt):
+        return Interval.range(-math.inf, _just_below(other.hi))
+    if isinstance(op, ast.LtE):
+        return Interval.range(-math.inf, other.hi)
+    if isinstance(op, ast.Gt):
+        return Interval.range(_just_above(other.lo), math.inf)
+    if isinstance(op, ast.GtE):
+        return Interval.range(other.lo, math.inf)
+    if isinstance(op, ast.Eq):
+        return other
+    return TOP
+
+
+def _just_below(bound: float) -> float:
+    return math.nextafter(bound, -math.inf) if math.isfinite(bound) else bound
+
+
+def _just_above(bound: float) -> float:
+    return math.nextafter(bound, math.inf) if math.isfinite(bound) else bound
+
+
+def _exclude_point(ival: Interval, point: float) -> Interval:
+    """``ival`` minus ``point`` — only endpoints can be sliced off.
+
+    A matching endpoint steps inward by one ulp — enough to make a
+    zero-containing divisor range provably nonzero after an
+    ``if n != 0`` guard, without assuming the value is an integer.
+    """
+    if ival.is_bottom or ival.is_top:
+        return ival
+    if ival.lo == point and ival.hi == point:
+        return BOTTOM  # the branch is infeasible
+    lo, hi = ival.lo, ival.hi
+    if lo == point:
+        lo = math.nextafter(point, math.inf)
+    if hi == point:
+        hi = math.nextafter(point, -math.inf)
+    return Interval.range(lo, hi)
+
+
+# -- interprocedural summaries ---------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class FunctionSummary:
+    """What a call site needs: parameter names and the abstract return."""
+
+    params: tuple[str, ...]
+    ret: AbsValue
+
+
+class Interpreter:
+    """Whole-program façade: per-function analyses + the summary cache.
+
+    One instance per :class:`~repro.analysis.modgraph.ModuleIndex`, shared
+    by the ``shape`` and ``bound`` checkers (see :func:`interpreter_for`),
+    so every function is analysed at most once per run.  Summaries are
+    computed bottom-up on demand: resolving a call triggers the callee's
+    analysis first; a cycle (recursion) yields ⊤ for the in-progress
+    frame, which bounds the computation on any call graph.
+    """
+
+    def __init__(self, index: ModuleIndex) -> None:
+        self.index = index
+        self._analyses: dict[tuple[str, int], FunctionAnalysis] = {}
+        self._summaries: dict[tuple[str, str], FunctionSummary | None] = {}
+        self._in_progress: set[tuple[str, str]] = set()
+        self._numpy_aliases: dict[str, frozenset[str]] = {}
+
+    # -- per-function analyses -------------------------------------------
+
+    def analysis(
+        self,
+        info: ModuleInfo,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> FunctionAnalysis:
+        """The (cached) fixpoint analysis of ``func`` in ``info``."""
+        key = (info.name, func.lineno)
+        cached = self._analyses.get(key)
+        if cached is None or cached.func is not func:
+            cached = FunctionAnalysis(self, info, func)
+            self._analyses[key] = cached
+        return cached
+
+    def numpy_aliases(self, info: ModuleInfo) -> frozenset[str]:
+        """Local names bound to the numpy module in ``info``."""
+        cached = self._numpy_aliases.get(info.name)
+        if cached is None:
+            cached = frozenset(
+                local
+                for local, module in info.imported_modules.items()
+                if module == "numpy" or module.startswith("numpy.")
+            )
+            self._numpy_aliases[info.name] = cached
+        return cached
+
+    # -- summaries -------------------------------------------------------
+
+    def summary(
+        self, info: ModuleInfo, symbol: SymbolDef
+    ) -> FunctionSummary | None:
+        """Bottom-up summary of a resolved in-project function."""
+        node = symbol.node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return None
+        key = (info.name, symbol.name)
+        if key in self._in_progress:
+            return None  # recursion: ⊤
+        if key in self._summaries:
+            return self._summaries[key]
+        self._in_progress.add(key)
+        try:
+            analysis = self.analysis(info, node)
+            ret = _externalize(analysis.return_value())
+        finally:
+            self._in_progress.discard(key)
+        args = node.args
+        params = tuple(
+            a.arg
+            for a in (*args.posonlyargs, *args.args)
+            if a.arg not in ("self", "cls")
+        )
+        summary = FunctionSummary(params=params, ret=ret)
+        self._summaries[key] = summary
+        return summary
+
+    # -- call-site application -------------------------------------------
+
+    def call_value(
+        self,
+        info: ModuleInfo,
+        call: ast.Call,
+        env: Env,
+        caller: FunctionAnalysis,
+    ) -> AbsValue:
+        """Abstract result of an in-project call, or ⊤."""
+        resolved = resolve_callee(self.index, info, call.func)
+        if resolved is None:
+            return AbsValue.top()
+        callee_info, symbol = resolved
+        if isinstance(symbol.node, ast.ClassDef):
+            return AbsValue.top()  # fields bind via ctor_fields
+        summary = self.summary(callee_info, symbol)
+        if summary is None:
+            return AbsValue.top()
+        bindings = _bind_call(call, summary.params)
+        if bindings is None:
+            return summary.ret if summary.ret.sym is None else AbsValue.top()
+        values = {
+            param: caller.eval(arg, env) for param, arg in bindings.items()
+        }
+        return _substitute(summary.ret, values)
+
+    def ctor_fields(
+        self,
+        info: ModuleInfo,
+        call: ast.Call,
+        env: Env,
+        caller: FunctionAnalysis,
+    ) -> dict[str, AbsValue]:
+        """Field values bound by a dataclass constructor call, if any."""
+        cls = self.resolve_class(info, call)
+        if cls is None:
+            return {}
+        fields = _dataclass_fields(cls)
+        if not fields:
+            return {}
+        bindings = _bind_call(call, fields)
+        if bindings is None:
+            return {}
+        return {
+            field: caller.eval(arg, env)
+            for field, arg in bindings.items()
+        }
+
+    def resolve_class(
+        self, info: ModuleInfo, call: ast.Call
+    ) -> ast.ClassDef | None:
+        """The in-project class a constructor call resolves to, if any."""
+        resolved = resolve_callee(self.index, info, call.func)
+        if resolved is None:
+            return None
+        node = resolved[1].node
+        return node if isinstance(node, ast.ClassDef) else None
+
+
+def _dataclass_fields(node: ast.ClassDef) -> tuple[str, ...]:
+    is_dataclass = False
+    for decorator in node.decorator_list:
+        target = (
+            decorator.func if isinstance(decorator, ast.Call) else decorator
+        )
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            is_dataclass = True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            is_dataclass = True
+    if not is_dataclass:
+        return ()
+    return tuple(
+        stmt.target.id
+        for stmt in node.body
+        if isinstance(stmt, ast.AnnAssign)
+        and isinstance(stmt.target, ast.Name)
+        and not stmt.target.id.startswith("_")
+    )
+
+
+def _bind_call(
+    call: ast.Call, params: tuple[str, ...]
+) -> dict[str, ast.expr] | None:
+    """Map parameter names to argument expressions, or ``None`` on *args."""
+    bindings: dict[str, ast.expr] = {}
+    for i, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred) or i >= len(params):
+            return None
+        bindings[params[i]] = arg
+    for keyword in call.keywords:
+        if keyword.arg is None:
+            return None  # **kwargs
+        if keyword.arg in params:
+            bindings[keyword.arg] = keyword.value
+    return bindings
+
+
+def _externalize(value: AbsValue) -> AbsValue:
+    """Strip callee-local symbols; keep only ``param:*`` names."""
+
+    def keep(sym: str | None) -> str | None:
+        return sym if sym is not None and sym.startswith("param:") else None
+
+    shape = value.shape
+    if shape is not None and shape.dims is not None:
+        shape = Shape(
+            dims=tuple(Dim(ival=d.ival, sym=keep(d.sym)) for d in shape.dims)
+        )
+    return AbsValue(
+        ival=value.ival,
+        shape=shape,
+        sym=keep(value.sym),
+        tup=None,
+    )
+
+
+def _substitute(ret: AbsValue, values: dict[str, AbsValue]) -> AbsValue:
+    """Replace ``param:<name>`` symbols with call-site argument facts."""
+
+    def resolve(sym: str | None) -> AbsValue | None:
+        if sym is None or not sym.startswith("param:"):
+            return None
+        return values.get(sym.partition(":")[2])
+
+    direct = resolve(ret.sym)
+    if direct is not None and ret.shape is None:
+        return direct
+    shape = ret.shape
+    if shape is not None and shape.dims is not None:
+        dims = []
+        for dim in shape.dims:
+            bound = resolve(dim.sym)
+            if bound is not None:
+                dims.append(bound.as_dim())
+            else:
+                dims.append(Dim(ival=dim.ival, sym=None))
+        shape = Shape(dims=tuple(dims))
+    return AbsValue(ival=ret.ival, shape=shape, sym=None, tup=None)
+
+
+# -- shared instances ------------------------------------------------------
+
+_INTERPRETERS: "weakref.WeakKeyDictionary[Any, Interpreter]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def interpreter_for(index: ModuleIndex) -> Interpreter:
+    """The shared :class:`Interpreter` of one analysis run.
+
+    The ``shape`` and ``bound`` checkers both call this, so the per-run
+    fixpoints and summaries are computed once, not twice.
+    """
+    interp = _INTERPRETERS.get(index)
+    if interp is None:
+        interp = Interpreter(index)
+        _INTERPRETERS[index] = interp
+    return interp

@@ -1,0 +1,400 @@
+"""Value-range lint (``BND*``), on the abstract interpreter.
+
+The ``bound`` pass proves numeric safety properties against the
+post-fixpoint interval environments of :mod:`repro.analysis.absint`:
+
+- ``BND001`` — a scalar divisor whose inferred interval contains 0 on a
+  reachable path (an unguarded ``len()``/count divide); a ``if n:`` /
+  ``n != 0`` / ``max(1, n)`` guard removes the finding;
+- ``BND002`` — a provably negative quantity assigned to (or passed as) a
+  unit-suffixed sink — ``*_cycles``, ``*_j``, ``*_bytes`` and friends —
+  where a negative value is physically meaningless;
+- ``BND003`` — a fold/tile index whose inferred interval provably
+  escapes a constant axis extent (``a[i]`` with ``i`` in ``[0, 16]``
+  against a 16-row array);
+- ``BND004`` — a dataclass constructor argument whose interval
+  contradicts the class's own ``validate()`` contract
+  (``require_positive``/``require_non_negative``/``require_in_range``/
+  ``require_power_of_two`` from :mod:`repro.analysis.contracts`).
+
+Like the ``shape`` pass, findings fire only on **provable** facts —
+an unknown (⊤) interval never reports — and every finding carries the
+inferred intervals in ``Finding.data`` for the JSON report.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .absint import AbsValue, FunctionAnalysis, Interpreter, interpreter_for
+from .cfg import shallow_exprs
+from .dataflow import iter_functions
+from .findings import Finding
+from .intervals import Interval
+from .modgraph import ModuleIndex, ModuleInfo
+from .units import parse_unit
+from .visitor import ProjectChecker
+
+__all__ = ["BoundChecker"]
+
+#: unit dimensions for which a negative value is physically meaningless.
+_NONNEG_DIMENSIONS = {
+    "energy", "power", "time", "area", "frequency", "bytes", "bits",
+    "cycles", "macs", "gate-equivalents",
+}
+
+
+class BoundChecker(ProjectChecker):
+    """Prove cycle/energy/index arithmetic bounds at lint time (BND001-004)."""
+
+    name = "bound"
+    codes = {
+        "BND001": "divisor interval contains zero on a reachable path",
+        "BND002": "provably negative value reaches a unit-suffixed sink",
+        "BND003": "index interval provably escapes the axis extent",
+        "BND004": "constructor argument contradicts the validate() contract",
+    }
+
+    def check_project(self, index: ModuleIndex) -> Iterator[Finding]:
+        interp = interpreter_for(index)
+        for info in sorted(index.targets(), key=lambda m: m.name):
+            for qualname, func in sorted(
+                iter_functions(info.source.tree),
+                key=lambda pair: pair[1].lineno,
+            ):
+                yield from self._check_function(interp, info, func)
+
+    # -- per-function walk -----------------------------------------------
+
+    def _check_function(
+        self,
+        interp: Interpreter,
+        info: ModuleInfo,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        if not _worth_analysing(func):
+            return
+        fa = interp.analysis(info, func)
+        for stmt, env in fa.statements():
+            for root in shallow_exprs(stmt):
+                for node, node_env in fa.walk_refined(root, env):
+                    if isinstance(node, ast.BinOp) and isinstance(
+                        node.op, (ast.Div, ast.FloorDiv, ast.Mod)
+                    ):
+                        yield from self._check_divisor(
+                            info, fa, node, node_env
+                        )
+                    elif isinstance(node, ast.Subscript) and isinstance(
+                        node.ctx, ast.Load
+                    ):
+                        yield from self._check_index(info, fa, node, node_env)
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                yield from self._check_sinks(info, fa, stmt, env)
+            if isinstance(
+                stmt, (ast.Assign, ast.AnnAssign, ast.Return, ast.Expr)
+            ):
+                yield from self._check_contracts(interp, info, fa, stmt, env)
+
+    # -- BND001 ----------------------------------------------------------
+
+    def _check_divisor(
+        self,
+        info: ModuleInfo,
+        fa: FunctionAnalysis,
+        node: ast.BinOp,
+        env: dict,
+    ) -> Iterator[Finding]:
+        divisor = fa.eval(node.right, env)
+        if divisor.is_array or divisor.tup is not None:
+            return
+        ival = divisor.ival
+        if ival.is_top or ival.is_bottom or not ival.contains(0.0):
+            return
+        yield self.finding_at(
+            info.source.path,
+            node.lineno,
+            node.col_offset,
+            "BND001",
+            f"divisor {_describe(node.right)} may be zero "
+            f"(inferred {ival}); guard it or clamp with max(1, ...)",
+            data={"divisor": str(ival), "expr": _describe(node.right)},
+        )
+
+    # -- BND002 ----------------------------------------------------------
+
+    def _check_sinks(
+        self,
+        info: ModuleInfo,
+        fa: FunctionAnalysis,
+        stmt: ast.stmt,
+        env: dict,
+    ) -> Iterator[Finding]:
+        pairs: list[tuple[str, ast.expr]] = []
+        if isinstance(stmt, ast.Assign) and stmt.value is not None:
+            for target in stmt.targets:
+                name = _sink_name(target)
+                if name is not None:
+                    pairs.append((name, stmt.value))
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            name = _sink_name(stmt.target)
+            if name is not None:
+                pairs.append((name, stmt.value))
+        for name, value_expr in pairs:
+            unit = parse_unit(name)
+            if unit is None or unit.dim not in _NONNEG_DIMENSIONS:
+                continue
+            value = fa.eval(value_expr, env)
+            if value.is_array or value.ival.is_bottom:
+                continue
+            if value.ival.hi < 0.0:
+                yield self.finding_at(
+                    info.source.path,
+                    stmt.lineno,
+                    stmt.col_offset,
+                    "BND002",
+                    f"provably negative value (inferred {value.ival}) "
+                    f"assigned to {unit.dim} sink '{name}'",
+                    data={"sink": name, "value": str(value.ival)},
+                )
+
+    # -- BND003 ----------------------------------------------------------
+
+    def _check_index(
+        self,
+        info: ModuleInfo,
+        fa: FunctionAnalysis,
+        node: ast.Subscript,
+        env: dict,
+    ) -> Iterator[Finding]:
+        base = fa.eval(node.value, env)
+        if not base.is_array or base.shape.dims is None:
+            return
+        keys = (
+            list(node.slice.elts)
+            if isinstance(node.slice, ast.Tuple)
+            else [node.slice]
+        )
+        dims = base.shape.dims
+        for axis, key in enumerate(keys):
+            if axis >= len(dims) or isinstance(key, ast.Slice):
+                continue
+            extent = dims[axis].value
+            if extent is None:
+                continue
+            index = fa.eval(key, env).ival
+            if (
+                index.is_bottom
+                or index.lo == float("-inf")
+                or index.hi == float("inf")
+            ):
+                continue
+            if index.lo < -extent or index.hi > extent - 1:
+                yield self.finding_at(
+                    info.source.path,
+                    node.lineno,
+                    node.col_offset,
+                    "BND003",
+                    f"index {_describe(key)} (inferred {index}) may fall "
+                    f"outside axis {axis} of extent {extent}",
+                    data={
+                        "index": str(index),
+                        "axis": axis,
+                        "extent": extent,
+                    },
+                )
+
+    # -- BND004 ----------------------------------------------------------
+
+    def _check_contracts(
+        self,
+        interp: Interpreter,
+        info: ModuleInfo,
+        fa: FunctionAnalysis,
+        stmt: ast.stmt,
+        env: dict,
+    ) -> Iterator[Finding]:
+        value = getattr(stmt, "value", None)
+        if not isinstance(value, ast.Call):
+            return
+        cls = interp.resolve_class(info, value)
+        if cls is None:
+            return
+        fields = interp.ctor_fields(info, value, env, fa)
+        if not fields:
+            return
+        for constraint in _contract_constraints(cls):
+            arg = fields.get(constraint.field)
+            if arg is None or arg.is_array:
+                continue
+            violation = constraint.violated_by(arg, fields)
+            if violation is None:
+                continue
+            yield self.finding_at(
+                info.source.path,
+                value.lineno,
+                value.col_offset,
+                "BND004",
+                f"{cls.name}.{constraint.field} (inferred {arg.ival}) "
+                f"contradicts validate(): {violation}",
+                data={
+                    "field": constraint.field,
+                    "constraint": violation,
+                    "value": str(arg.ival),
+                },
+            )
+
+
+# -- validate() contract extraction ----------------------------------------
+
+
+class _Constraint:
+    """One contract on a constructor field, parsed from ``validate()``."""
+
+    def __init__(
+        self,
+        field: str,
+        kind: str,
+        lo: ast.expr | None = None,
+        hi: ast.expr | None = None,
+    ) -> None:
+        self.field = field
+        self.kind = kind  # positive | non_negative | power_of_two | in_range
+        self.lo = lo
+        self.hi = hi
+
+    def violated_by(
+        self, arg: AbsValue, fields: dict[str, AbsValue]
+    ) -> str | None:
+        """A human-readable violation when ``arg`` provably breaks this."""
+        ival = arg.ival
+        if ival.is_bottom or ival.is_top:
+            return None
+        if self.kind == "positive" and ival.hi <= 0.0:
+            return "must be positive"
+        if self.kind == "non_negative" and ival.hi < 0.0:
+            return "must be non-negative"
+        if self.kind == "power_of_two" and ival.is_const:
+            value = int(ival.lo)
+            if float(value) == ival.lo and (
+                value <= 0 or value & (value - 1)
+            ):
+                return "must be a power of two"
+        if self.kind == "in_range":
+            bounds = Interval.range(
+                _bound_value(self.lo, fields, default=float("-inf")),
+                _bound_value(self.hi, fields, default=float("inf")),
+            )
+            if not bounds.is_bottom and not ival.intersects(bounds):
+                return f"must lie in {bounds}"
+        return None
+
+
+def _bound_value(
+    node: ast.expr | None, fields: dict[str, AbsValue], default: float
+) -> float:
+    """A contract bound: a constant, or another field's exact value."""
+    if node is None:
+        return default
+    if isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float)
+    ):
+        return float(node.value)
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        field = fields.get(node.attr)
+        if field is not None and field.ival.is_const:
+            return field.ival.lo
+    return default
+
+
+def _contract_constraints(cls: ast.ClassDef) -> list[_Constraint]:
+    validate = next(
+        (
+            stmt
+            for stmt in cls.body
+            if isinstance(stmt, ast.FunctionDef) and stmt.name == "validate"
+        ),
+        None,
+    )
+    if validate is None:
+        return []
+    constraints: list[_Constraint] = []
+    for node in ast.walk(validate):
+        if not isinstance(node, ast.Call) or not isinstance(
+            node.func, ast.Name
+        ):
+            continue
+        name = node.func.id
+        if name in ("require_positive", "require_non_negative"):
+            kind = "positive" if name == "require_positive" else "non_negative"
+            for keyword in node.keywords:
+                field = _self_field(keyword.value) or keyword.arg
+                if field is not None:
+                    constraints.append(_Constraint(field, kind))
+        elif name == "require_power_of_two":
+            for keyword in node.keywords:
+                field = _self_field(keyword.value) or keyword.arg
+                if field is not None:
+                    constraints.append(_Constraint(field, "power_of_two"))
+        elif name == "require_in_range" and len(node.args) >= 5:
+            field = _self_field(node.args[2])
+            if field is not None:
+                constraints.append(
+                    _Constraint(
+                        field, "in_range", lo=node.args[3], hi=node.args[4]
+                    )
+                )
+    return constraints
+
+
+def _self_field(node: ast.expr) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+# -- misc ------------------------------------------------------------------
+
+
+def _sink_name(target: ast.AST) -> str | None:
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return None
+
+
+def _worth_analysing(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Cheap gate: any division, subscript, unit sink or ctor call?"""
+    for node in ast.walk(func):
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Div, ast.FloorDiv, ast.Mod)
+        ):
+            return True
+        if isinstance(node, ast.Subscript):
+            return True
+        if isinstance(node, (ast.Return, ast.Expr)) and isinstance(
+            node.value, ast.Call
+        ):
+            return True
+        if isinstance(node, ast.Assign):
+            if isinstance(node.value, ast.Call):
+                return True
+            for target in node.targets:
+                name = _sink_name(target)
+                if name is not None and parse_unit(name) is not None:
+                    return True
+    return False
+
+
+def _describe(expr: ast.AST) -> str:
+    text = ast.unparse(expr)
+    return text if len(text) <= 40 else text[:37] + "..."

@@ -15,7 +15,10 @@ The graph records what the PERF/CONC checkers need beyond plain edges:
 - explicit :class:`Loop` records with their member block sets, so
   "is this definition inside the loop?" is a set lookup;
 - an entry and a single exit block (``return``/``raise`` edges land
-  there), so backward analyses have one boundary.
+  there), so backward analyses have one boundary;
+- conditional-edge polarities (``CFG.cond_edges``): which successor a
+  branch takes when its test holds, so the abstract interpreter in
+  ``repro.analysis.absint`` can refine facts along each edge.
 
 Approximations, chosen to over- rather than under-connect (a *may*
 analysis stays sound): every block of a ``try`` body gets an edge to
@@ -64,6 +67,12 @@ class CFG:
         self.loops: list[Loop] = []
         #: id(stmt) -> (block id, index within block) for every placed stmt.
         self.location: dict[int, tuple[int, int]] = {}
+        #: (src bid, dst bid) -> polarity for conditional edges: ``True``
+        #: when the edge is taken because the ``if``/``while`` test held
+        #: (or a ``for`` loop yielded an element), ``False`` for the
+        #: fall-through/exit edge.  Unconditional edges are absent.  The
+        #: abstract interpreter refines facts along these edges.
+        self.cond_edges: dict[tuple[int, int], bool] = {}
 
     def block(self, bid: int) -> BasicBlock:
         """The block with id ``bid``."""
@@ -109,9 +118,11 @@ class _Builder:
         self._counter += 1
         return block
 
-    def _edge(self, src: int, dst: int) -> None:
+    def _edge(self, src: int, dst: int, cond: bool | None = None) -> None:
         self.cfg.blocks[src].succs.add(dst)
         self.cfg.blocks[dst].preds.add(src)
+        if cond is not None:
+            self.cfg.cond_edges[(src, dst)] = cond
 
     def build(self) -> CFG:
         ctx = _Ctx(breaks=[], continues=[], handlers=[], depth=0)
@@ -184,15 +195,18 @@ class _Builder:
         self._place(stmt, current)
         after = None
         then_block = self._new_block(ctx.depth)
-        self._edge(current, then_block.bid)
+        self._edge(current, then_block.bid, cond=True)
         then_end = self._body(stmt.body, then_block.bid, ctx)
         if stmt.orelse:
             else_block = self._new_block(ctx.depth)
-            self._edge(current, else_block.bid)
+            self._edge(current, else_block.bid, cond=False)
             else_end = self._body(stmt.orelse, else_block.bid, ctx)
         else:
-            else_end = current
+            else_end = None
         after = self._new_block(ctx.depth)
+        if not stmt.orelse:
+            # Fall-through past a bodyless else: the test was false.
+            self._edge(current, after.bid, cond=False)
         for end in (then_end, else_end):
             if end is not None:
                 self._edge(end, after.bid)
@@ -207,7 +221,7 @@ class _Builder:
         after = self._new_block(ctx.depth)
         member_start = self._counter
         body_block = self._new_block(ctx.depth + 1)
-        self._edge(head.bid, body_block.bid)
+        self._edge(head.bid, body_block.bid, cond=True)
         inner = _Ctx(
             breaks=ctx.breaks + [after.bid],
             continues=ctx.continues + [head.bid],
@@ -223,12 +237,12 @@ class _Builder:
         self.cfg.loops.append(Loop(head=head.bid, members=members, node=stmt))
         if stmt.orelse:
             else_block = self._new_block(ctx.depth)
-            self._edge(head.bid, else_block.bid)
+            self._edge(head.bid, else_block.bid, cond=False)
             else_end = self._body(stmt.orelse, else_block.bid, ctx)
             if else_end is not None:
                 self._edge(else_end, after.bid)
         else:
-            self._edge(head.bid, after.bid)
+            self._edge(head.bid, after.bid, cond=False)
         return after.bid
 
     def _try(self, stmt: ast.Try, current: int, ctx: _Ctx) -> int | None:

@@ -41,6 +41,7 @@ __all__ = [
     "LiveVariables",
     "NdarrayTypes",
     "ReachingDefinitions",
+    "SolveStats",
     "array_seeds",
     "iter_functions",
     "solve",
@@ -145,6 +146,35 @@ class DataflowAnalysis:
         """Fact after executing ``block`` given the fact before it."""
         raise NotImplementedError
 
+    def edge_transfer(self, src: BasicBlock, dst: int, fact: Any) -> Any:
+        """Refine ``fact`` as it flows along the edge ``src -> dst``.
+
+        Called at merge points before the join, once per computed
+        upstream block (``src`` precedes ``dst`` in *analysis* order, so
+        for a backward analysis ``src`` is an execution-order successor).
+        The default is the identity; the abstract interpreter overrides
+        it to narrow facts by the branch condition recorded in
+        ``CFG.cond_edges``.
+        """
+        return fact
+
+
+@dataclasses.dataclass
+class SolveStats:
+    """Observability for one :func:`solve` run (pass ``stats=``).
+
+    ``visits[bid]`` counts how many times block ``bid``'s out-fact
+    *changed* after its first computation; ``damped`` counts how many
+    times the per-block visit budget forced a dampening join.  A
+    well-behaved widening analysis keeps ``damped == 0`` — the
+    regression test in ``tests/analysis/test_abstract_props.py`` pins
+    that for the interval interpreter.
+    """
+
+    visits: dict[int, int] = dataclasses.field(default_factory=dict)
+    damped: int = 0
+    budget: int = 0
+
 
 def _reverse_postorder(cfg: CFG, start: int, forward: bool) -> list[int]:
     """Blocks reachable from ``start``, predecessors-first in flow order."""
@@ -175,7 +205,12 @@ def _reverse_postorder(cfg: CFG, start: int, forward: bool) -> list[int]:
     return order
 
 
-def solve(cfg: CFG, analysis: DataflowAnalysis) -> dict[int, tuple[Any, Any]]:
+def solve(
+    cfg: CFG,
+    analysis: DataflowAnalysis,
+    visit_budget: int | None = None,
+    stats: SolveStats | None = None,
+) -> dict[int, tuple[Any, Any]]:
     """Worklist fixpoint; maps block id -> (fact before, fact after).
 
     "Before"/"after" are in *execution* order for both directions (for a
@@ -191,11 +226,16 @@ def solve(cfg: CFG, analysis: DataflowAnalysis) -> dict[int, tuple[Any, Any]]:
     unreachable from the boundary (dead code after ``return``/``raise``).
 
     Termination is guaranteed even for a non-monotone transfer: past a
-    per-block visit budget the new fact is dampened through
+    per-block visit budget — ``visit_budget``, defaulting to
+    ``8 + 4 * len(cfg.blocks)`` — the new fact is dampened through
     ``analysis.join`` with the old one, which is a no-op for monotone
     analyses (the join of an ascending pair is the new fact) and forces
     disagreeing entries to resolve for oscillating ones — the dampened
-    sequence moves one way through a finite lattice, so it stops.
+    sequence moves one way through a finite lattice, so it stops.  The
+    budget is a backstop, not a convergence mechanism: an analysis over
+    an infinite-height lattice must widen in its own transfer (see
+    ``repro.analysis.absint``), and can pass a :class:`SolveStats` to
+    assert ``damped == 0`` afterwards.
     """
     forward = analysis.direction == "forward"
     start = cfg.entry if forward else cfg.exit
@@ -206,7 +246,11 @@ def solve(cfg: CFG, analysis: DataflowAnalysis) -> dict[int, tuple[Any, Any]]:
 
     rpo = _reverse_postorder(cfg, start, forward)
     unreachable = [bid for bid in sorted(cfg.blocks) if bid not in set(rpo)]
-    visit_cap = 8 + 4 * len(cfg.blocks)
+    visit_cap = (
+        visit_budget if visit_budget is not None else 8 + 4 * len(cfg.blocks)
+    )
+    if stats is not None:
+        stats.budget = visit_cap
 
     out: dict[int, Any] = {}  # fact on the downstream side, optimistic ⊤
     worklist = [*rpo, *unreachable]
@@ -222,10 +266,13 @@ def solve(cfg: CFG, analysis: DataflowAnalysis) -> dict[int, tuple[Any, Any]]:
             fact = None
             for pred in preds(bid):
                 if pred in out:
+                    along = analysis.edge_transfer(
+                        cfg.blocks[pred], bid, out[pred]
+                    )
                     fact = (
-                        out[pred]
+                        along
                         if fact is None
-                        else analysis.join(fact, out[pred])
+                        else analysis.join(fact, along)
                     )
             if fact is None:
                 fact = analysis.initial()
@@ -235,7 +282,11 @@ def solve(cfg: CFG, analysis: DataflowAnalysis) -> dict[int, tuple[Any, Any]]:
             if out[bid] == new_out:
                 continue
             visits[bid] = visits.get(bid, 0) + 1
+            if stats is not None:
+                stats.visits[bid] = visits[bid]
             if visits[bid] > visit_cap:
+                if stats is not None:
+                    stats.damped += 1
                 new_out = analysis.join(out[bid], new_out)
                 if out[bid] == new_out:
                     continue

@@ -1,0 +1,273 @@
+"""Numeric interval lattice for the abstract interpreter.
+
+An :class:`Interval` is a closed range ``[lo, hi]`` over the extended
+reals (``-inf``/``+inf`` mark unbounded ends), plus an explicit empty
+element ``BOTTOM``.  The lattice order is inclusion: ``BOTTOM`` is the
+least element, ``TOP = [-inf, +inf]`` the greatest, :meth:`Interval.join`
+the convex hull, :meth:`Interval.meet` the intersection.
+
+Because the interval lattice has infinite ascending chains
+(``[0,0] ⊑ [0,1] ⊑ [0,2] ⊑ ...``), a loop fixpoint needs
+:meth:`Interval.widen`: any bound that is still moving jumps straight to
+infinity, so a widened sequence stabilises after at most two steps per
+bound.  :meth:`Interval.narrow` recovers precision afterwards on a
+bounded descending pass: it replaces only *infinite* bounds of the
+widened result with the (sound) recomputed finite ones.
+
+Arithmetic is the standard interval extension — monotone in both
+arguments, with division splitting around zero.  All operations treat
+``BOTTOM`` strictly (anything with ``BOTTOM`` is ``BOTTOM``).
+
+The hypothesis suite (``tests/analysis/test_abstract_props.py``) pins
+the algebra: join/meet commutative, associative and monotone, widening
+reaching a fixpoint in bounded steps, arithmetic soundness against
+concrete samples.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+__all__ = ["Interval", "BOTTOM", "TOP"]
+
+_INF = math.inf
+
+
+@dataclasses.dataclass(frozen=True)
+class Interval:
+    """A closed numeric range ``[lo, hi]``; empty when ``lo > hi``."""
+
+    lo: float
+    hi: float
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def top() -> "Interval":
+        """The unknown value: ``[-inf, +inf]``."""
+        return TOP
+
+    @staticmethod
+    def bottom() -> "Interval":
+        """The empty (unreachable) value."""
+        return BOTTOM
+
+    @staticmethod
+    def const(value: float) -> "Interval":
+        """The singleton ``[value, value]``."""
+        return Interval(float(value), float(value))
+
+    @staticmethod
+    def range(lo: float, hi: float) -> "Interval":
+        """``[lo, hi]``, normalised to ``BOTTOM`` when empty."""
+        if lo > hi:
+            return BOTTOM
+        return Interval(float(lo), float(hi))
+
+    @staticmethod
+    def nonneg() -> "Interval":
+        """``[0, +inf]`` — the length/count shape of fact."""
+        return Interval(0.0, _INF)
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def is_bottom(self) -> bool:
+        """True for the empty interval."""
+        return self.lo > self.hi
+
+    @property
+    def is_top(self) -> bool:
+        """True for ``[-inf, +inf]``."""
+        return self.lo == -_INF and self.hi == _INF
+
+    @property
+    def is_const(self) -> bool:
+        """True for a finite singleton."""
+        return self.lo == self.hi and math.isfinite(self.lo)
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` lies inside the interval."""
+        return self.lo <= value <= self.hi
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """Lattice order: ``other ⊑ self`` (inclusion)."""
+        if other.is_bottom:
+            return True
+        if self.is_bottom:
+            return False
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def intersects(self, other: "Interval") -> bool:
+        """True when the two ranges share at least one point."""
+        return not self.meet(other).is_bottom
+
+    # -- lattice operations ------------------------------------------------
+
+    def join(self, other: "Interval") -> "Interval":
+        """Least upper bound: the convex hull of both ranges."""
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def meet(self, other: "Interval") -> "Interval":
+        """Greatest lower bound: the intersection."""
+        if self.is_bottom or other.is_bottom:
+            return BOTTOM
+        return Interval.range(max(self.lo, other.lo), min(self.hi, other.hi))
+
+    def widen(self, other: "Interval") -> "Interval":
+        """``self ∇ other``: jump any still-moving bound to infinity.
+
+        ``self`` is the previous loop-head fact, ``other`` the new one
+        (already joined with ``self``).  A bound that grew past the old
+        one is unstable and goes straight to ``±inf``; a stable bound is
+        kept.  The result can only change twice per bound, which is what
+        makes the interval analysis terminate without any visit budget.
+        """
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        lo = self.lo if other.lo >= self.lo else -_INF
+        hi = self.hi if other.hi <= self.hi else _INF
+        return Interval(lo, hi)
+
+    def narrow(self, other: "Interval") -> "Interval":
+        """``self Δ other``: refine infinite bounds with recomputed ones.
+
+        ``self`` is the widened fact, ``other`` the fact recomputed from
+        it on a descending pass.  Only a bound that widening pushed to
+        infinity is replaced, so the descending sequence is bounded and
+        never undoes a sound finite bound.
+        """
+        if self.is_bottom or other.is_bottom:
+            return BOTTOM
+        lo = other.lo if self.lo == -_INF else self.lo
+        hi = other.hi if self.hi == _INF else self.hi
+        return Interval.range(lo, hi)
+
+    # -- arithmetic --------------------------------------------------------
+
+    def add(self, other: "Interval") -> "Interval":
+        """Interval sum."""
+        if self.is_bottom or other.is_bottom:
+            return BOTTOM
+        return Interval(_add(self.lo, other.lo), _add(self.hi, other.hi))
+
+    def sub(self, other: "Interval") -> "Interval":
+        """Interval difference."""
+        if self.is_bottom or other.is_bottom:
+            return BOTTOM
+        return Interval(_add(self.lo, -other.hi), _add(self.hi, -other.lo))
+
+    def neg(self) -> "Interval":
+        """Interval negation."""
+        if self.is_bottom:
+            return BOTTOM
+        return Interval(-self.hi, -self.lo)
+
+    def mul(self, other: "Interval") -> "Interval":
+        """Interval product (min/max over the four corner products)."""
+        if self.is_bottom or other.is_bottom:
+            return BOTTOM
+        corners = [
+            _mul(self.lo, other.lo),
+            _mul(self.lo, other.hi),
+            _mul(self.hi, other.lo),
+            _mul(self.hi, other.hi),
+        ]
+        return Interval(min(corners), max(corners))
+
+    def truediv(self, other: "Interval") -> "Interval":
+        """Interval quotient; a divisor range containing 0 widens to TOP.
+
+        Division by the exact singleton ``[0, 0]`` is ``BOTTOM`` (the
+        path cannot complete normally); the *possibility* of a zero
+        divisor is the checker's job (``BND001``), not the domain's.
+        """
+        if self.is_bottom or other.is_bottom:
+            return BOTTOM
+        if other.lo == 0.0 and other.hi == 0.0:
+            return BOTTOM
+        if other.contains(0.0):
+            return TOP
+        corners = [
+            self.lo / other.lo,
+            self.lo / other.hi,
+            self.hi / other.lo,
+            self.hi / other.hi,
+        ]
+        return Interval(min(corners), max(corners))
+
+    def floordiv(self, other: "Interval") -> "Interval":
+        """Interval floor-quotient (quotient, floored outward)."""
+        result = self.truediv(other)
+        if result.is_bottom or result.is_top:
+            return result
+        lo = math.floor(result.lo) if math.isfinite(result.lo) else result.lo
+        hi = math.floor(result.hi) if math.isfinite(result.hi) else result.hi
+        return Interval.range(lo, hi)
+
+    def mod(self, other: "Interval") -> "Interval":
+        """Interval of ``x % y`` for a positive divisor range; else TOP."""
+        if self.is_bottom or other.is_bottom:
+            return BOTTOM
+        if other.lo == 0.0 and other.hi == 0.0:
+            return BOTTOM
+        if other.lo > 0.0:
+            if math.isfinite(other.hi):
+                # x % y < y always holds for y > 0, so the bound is
+                # strict: step in by one ulp (values may be floats, so
+                # tightening by a whole unit would be unsound).
+                hi = math.nextafter(other.hi, -math.inf)
+                return Interval(0.0, max(0.0, hi))
+            return Interval.nonneg()
+        return TOP
+
+    def __str__(self) -> str:
+        if self.is_bottom:
+            return "[empty]"
+
+        def fmt(bound: float) -> str:
+            if bound == _INF:
+                return "+inf"
+            if bound == -_INF:
+                return "-inf"
+            if bound == int(bound):
+                return str(int(bound))
+            return f"{bound:g}"
+
+        return f"[{fmt(self.lo)}, {fmt(self.hi)}]"
+
+
+def _add(a: float, b: float) -> float:
+    # inf + -inf never occurs on same-side bound sums of nonempty
+    # intervals (lo+lo / hi+hi), but guard anyway: unknown beats NaN.
+    try:
+        result = a + b
+    except OverflowError:  # pragma: no cover - floats saturate to inf
+        return _INF if a > 0 else -_INF
+    if math.isnan(result):
+        return _INF if (a == _INF or b == _INF) else -_INF
+    return result
+
+
+def _mul(a: float, b: float) -> float:
+    # 0 * inf is 0 for interval corners (the zero bound is exact).
+    if a == 0.0 or b == 0.0:
+        return 0.0
+    result = a * b
+    if math.isnan(result):  # pragma: no cover - corners are never nan/nan
+        return 0.0
+    return result
+
+
+#: The empty interval (unreachable value).
+BOTTOM = Interval(_INF, -_INF)
+
+#: The unknown value.
+TOP = Interval(-_INF, _INF)

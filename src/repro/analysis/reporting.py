@@ -28,8 +28,10 @@ __all__ = [
 
 #: Bumped whenever the JSON document shape changes.  v2 added
 #: ``schema_version``, ``summary`` and the ``baseline`` block; v3 added
-#: the ``profile`` block (measured-hotness ranking from ``--profile``).
-JSON_SCHEMA_VERSION = 3
+#: the ``profile`` block (measured-hotness ranking from ``--profile``);
+#: v4 added the optional per-finding ``data`` payload carrying the
+#: inferred intervals/shapes behind ``SHAPE``/``BND`` findings.
+JSON_SCHEMA_VERSION = 4
 
 
 def rank_by_profile(

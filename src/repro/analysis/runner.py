@@ -7,7 +7,8 @@ suppression comments and the baseline — the same contract the pytest
 gate and the CI lint job rely on.
 
 The run parses each source file exactly once: the per-file checkers and
-the whole-program passes (``arch``/``flow``/``dead``) all share the same
+the whole-program passes (``arch``/``flow``/``dead``/``perf``/``conc``/
+``shape``/``bound``) all share the same
 :class:`~repro.analysis.visitor.SourceFile` list and the
 :class:`~repro.analysis.modgraph.ModuleIndex` built from it.  The test
 suite is additionally indexed as *usage context* so the reachability
@@ -25,6 +26,7 @@ from typing import Iterable, Sequence
 from . import layers
 from .arch import ArchChecker, layer_violations
 from .baseline import Baseline, BaselineDelta
+from .bounds import BoundChecker
 from .conc import ConcChecker
 from .config_checks import ConfigChecker
 from .dead import DeadChecker
@@ -35,6 +37,7 @@ from .flow import FlowChecker
 from .modgraph import ModuleIndex, build_index, render_dot
 from .perf import PerfChecker, ProfileEntry, load_profile_entries
 from .reporting import rank_by_profile, render_json, render_text
+from .shapecheck import ShapeChecker
 from .units import UnitChecker
 from .verification import VerificationChecker
 from .visitor import Checker, ProjectChecker, SourceFile, collect_sources
@@ -69,6 +72,8 @@ PROJECT_CHECKERS: tuple[ProjectChecker, ...] = (
     DeadChecker(),
     PerfChecker(),
     ConcChecker(),
+    ShapeChecker(),
+    BoundChecker(),
 )
 
 #: The runner's own stale-suppression code (not a checker class: it needs
@@ -155,7 +160,7 @@ def analyze(
             raise ValueError(
                 f"unknown --select token(s): {', '.join(unknown)}; "
                 "expected a checker group (unit/det/cfg/exp/ver/arch/flow/"
-                "dead/perf/conc/sup) or a code like UNIT002"
+                "dead/perf/conc/shape/bound/sup) or a code like UNIT002"
             )
     profile_entries: list[ProfileEntry] = []
     if profile is not None:
@@ -327,7 +332,8 @@ def _build_parser() -> argparse.ArgumentParser:
             "Static analysis for the uSystolic reproduction: unit "
             "consistency, determinism, config invariants, export hygiene, "
             "verification traceability, layering contracts, interprocedural "
-            "unit flow and dead-reachability."
+            "unit flow, dead-reachability, and abstract-interpretation "
+            "shape/bound proofs."
         ),
     )
     parser.add_argument(
@@ -345,7 +351,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="GROUP_OR_CODE",
         help="restrict to checker groups or codes (repeatable, "
         "comma-separated): unit,det,cfg,exp,ver,arch,flow,dead,perf,conc,"
-        "sup or e.g. UNIT002",
+        "shape,bound,sup or e.g. UNIT002",
     )
     parser.add_argument(
         "--profile",

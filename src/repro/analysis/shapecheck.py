@@ -1,0 +1,320 @@
+"""Shape-algebra lint (``SHAPE*``), on the abstract interpreter.
+
+The ``shape`` pass evaluates every shallow statement of every function
+against the post-fixpoint interval/shape environments of
+:mod:`repro.analysis.absint` and reports only **provable** conflicts:
+
+- ``SHAPE001`` — a ``@``/``np.matmul``/``np.dot`` contraction pair, or a
+  broadcast of elementwise operands, whose extents provably differ;
+- ``SHAPE002`` — a ``reshape`` whose source and target element counts
+  are exact constants and differ;
+- ``SHAPE003`` — ``np.concatenate``/``np.stack`` (and ``vstack``/
+  ``hstack``) inputs that provably disagree on a non-concatenation axis;
+- ``SHAPE004`` — a ``return`` whose inferred shape contradicts the
+  function docstring's declared ``shape (d1, d2, ...)`` contract (the
+  convention: an all-integer parenthesised shape after the word
+  ``shape``).
+
+Every finding carries the inferred evidence in ``Finding.data`` — the
+two operand shapes, the element counts, or the declared-vs-inferred
+pair — which the JSON report (schema v4) exposes per finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from .absint import FunctionAnalysis, Interpreter, interpreter_for
+from .cfg import shallow_exprs
+from .dataflow import iter_functions
+from .findings import Finding
+from .modgraph import ModuleIndex, ModuleInfo
+from .shapes import Shape, broadcast, concatenate, matmul, reshape, stack
+from .visitor import ProjectChecker
+
+__all__ = ["ShapeChecker"]
+
+#: elementwise operators that broadcast their ndarray operands.
+_ELEMENTWISE = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod)
+
+#: docstring contract: an all-integer shape after the word "shape".
+_SHAPE_CONTRACT = re.compile(
+    r"shape\s*\(\s*(\d+\s*(?:,\s*\d+\s*)*),?\s*\)", re.IGNORECASE
+)
+
+#: ast tokens whose presence makes a function worth analysing here.
+_TRIGGER_ATTRS = {
+    "reshape", "transpose", "concatenate", "stack", "vstack", "hstack",
+    "matmul", "dot", "zeros", "ones", "empty", "full", "zeros_like",
+    "ones_like", "empty_like", "full_like", "eye", "arange", "linspace",
+    "array", "asarray",
+}
+
+
+class ShapeChecker(ProjectChecker):
+    """Prove ndarray dimension algebra at lint time (SHAPE001-004)."""
+
+    name = "shape"
+    codes = {
+        "SHAPE001": (
+            "matmul/broadcast operand extents provably mismatch"
+        ),
+        "SHAPE002": "reshape provably changes the element count",
+        "SHAPE003": (
+            "concatenate/stack inputs disagree on a non-stacked axis"
+        ),
+        "SHAPE004": (
+            "return shape contradicts the docstring shape contract"
+        ),
+    }
+
+    def check_project(self, index: ModuleIndex) -> Iterator[Finding]:
+        interp = interpreter_for(index)
+        for info in sorted(index.targets(), key=lambda m: m.name):
+            for qualname, func in sorted(
+                iter_functions(info.source.tree),
+                key=lambda pair: pair[1].lineno,
+            ):
+                if not _worth_analysing(func):
+                    continue
+                yield from self._check_function(interp, info, func)
+
+    # -- per-function walk -----------------------------------------------
+
+    def _check_function(
+        self,
+        interp: Interpreter,
+        info: ModuleInfo,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        fa = interp.analysis(info, func)
+        contract = _shape_contract(func)
+        for stmt, env in fa.statements():
+            for root in shallow_exprs(stmt):
+                for node, node_env in fa.walk_refined(root, env):
+                    if isinstance(node, ast.BinOp):
+                        yield from self._check_binop(info, fa, node, node_env)
+                    elif isinstance(node, ast.Call):
+                        yield from self._check_call(info, fa, node, node_env)
+            if (
+                contract is not None
+                and isinstance(stmt, ast.Return)
+                and stmt.value is not None
+            ):
+                yield from self._check_contract(
+                    info, fa, stmt, env, contract
+                )
+
+    # -- SHAPE001 --------------------------------------------------------
+
+    def _check_binop(
+        self,
+        info: ModuleInfo,
+        fa: FunctionAnalysis,
+        node: ast.BinOp,
+        env: dict,
+    ) -> Iterator[Finding]:
+        left = fa.eval(node.left, env)
+        right = fa.eval(node.right, env)
+        if not (left.is_array and right.is_array):
+            return
+        if isinstance(node.op, ast.MatMult):
+            _, conflict = matmul(left.shape, right.shape)
+            if conflict is not None:
+                yield self._shape001(
+                    info, node, "matmul contraction", left.shape, right.shape
+                )
+        elif isinstance(node.op, _ELEMENTWISE):
+            _, conflict = broadcast(left.shape, right.shape)
+            if conflict is not None:
+                yield self._shape001(
+                    info, node, "broadcast", left.shape, right.shape
+                )
+
+    def _shape001(
+        self,
+        info: ModuleInfo,
+        node: ast.AST,
+        what: str,
+        left: Shape,
+        right: Shape,
+    ) -> Finding:
+        return self.finding_at(
+            info.source.path,
+            node.lineno,
+            node.col_offset,
+            "SHAPE001",
+            f"{what} of provably incompatible shapes "
+            f"{left} and {right}",
+            data={"left": str(left), "right": str(right)},
+        )
+
+    # -- SHAPE002 / SHAPE003 (and call-form SHAPE001) --------------------
+
+    def _check_call(
+        self,
+        info: ModuleInfo,
+        fa: FunctionAnalysis,
+        call: ast.Call,
+        env: dict,
+    ) -> Iterator[Finding]:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return
+        is_numpy = (
+            isinstance(func.value, ast.Name)
+            and func.value.id in fa.interp.numpy_aliases(info)
+        )
+        if is_numpy and func.attr in ("matmul", "dot") and len(call.args) == 2:
+            a = fa.eval(call.args[0], env)
+            b = fa.eval(call.args[1], env)
+            if a.is_array and b.is_array:
+                _, conflict = matmul(a.shape, b.shape)
+                if conflict is not None:
+                    yield self._shape001(
+                        info, call, "matmul contraction", a.shape, b.shape
+                    )
+            return
+        if is_numpy and func.attr in (
+            "concatenate", "stack", "vstack", "hstack"
+        ):
+            yield from self._check_concat(info, fa, call, env, func.attr)
+            return
+        if func.attr == "reshape":
+            yield from self._check_reshape(info, fa, call, env, is_numpy)
+
+    def _check_reshape(
+        self,
+        info: ModuleInfo,
+        fa: FunctionAnalysis,
+        call: ast.Call,
+        env: dict,
+        is_numpy: bool,
+    ) -> Iterator[Finding]:
+        if is_numpy:
+            if len(call.args) < 2:
+                return
+            source = fa.eval(call.args[0], env)
+            target_args = call.args[1:]
+        else:
+            source = fa.eval(call.func.value, env)  # type: ignore[attr-defined]
+            target_args = call.args
+        if not source.is_array or not target_args:
+            return
+        target = fa.reshape_target(list(target_args), env)
+        _, counts = reshape(source.shape, target)
+        if counts is not None:
+            yield self.finding_at(
+                info.source.path,
+                call.lineno,
+                call.col_offset,
+                "SHAPE002",
+                f"reshape of {source.shape} ({counts[0]} elements) to "
+                f"{target} ({counts[1]} elements) provably changes the "
+                f"element count",
+                data={
+                    "source": str(source.shape),
+                    "target": str(target),
+                    "elements": [counts[0], counts[1]],
+                },
+            )
+
+    def _check_concat(
+        self,
+        info: ModuleInfo,
+        fa: FunctionAnalysis,
+        call: ast.Call,
+        env: dict,
+        attr: str,
+    ) -> Iterator[Finding]:
+        if not call.args:
+            return
+        shapes = fa.sequence_shapes(call.args[0], env)
+        if shapes is None:
+            return
+        if attr == "stack":
+            axis = fa.axis_of(call, env, default=0) or 0
+            _, conflict = stack(shapes, axis)
+        else:
+            axis = {"vstack": 0, "hstack": -1}.get(
+                attr, fa.axis_of(call, env, default=0) or 0
+            )
+            _, conflict = concatenate(shapes, axis)
+        if conflict is not None:
+            which, da, db = conflict
+            yield self.finding_at(
+                info.source.path,
+                call.lineno,
+                call.col_offset,
+                "SHAPE003",
+                f"np.{attr} inputs provably disagree on axis {which} "
+                f"({da} vs {db})",
+                data={
+                    "axis": which,
+                    "left": str(da),
+                    "right": str(db),
+                    "shapes": [str(s) for s in shapes],
+                },
+            )
+
+    # -- SHAPE004 --------------------------------------------------------
+
+    def _check_contract(
+        self,
+        info: ModuleInfo,
+        fa: FunctionAnalysis,
+        stmt: ast.Return,
+        env: dict,
+        contract: tuple[int, ...],
+    ) -> Iterator[Finding]:
+        assert stmt.value is not None
+        inferred = fa.eval(stmt.value, env)
+        if not inferred.is_array or inferred.shape.dims is None:
+            return
+        declared = Shape.of(*contract)
+        dims = inferred.shape.dims
+        mismatch = len(dims) != len(contract) or any(
+            dim.disjoint(decl)
+            for dim, decl in zip(dims, declared.dims or ())
+        )
+        if mismatch:
+            yield self.finding_at(
+                info.source.path,
+                stmt.lineno,
+                stmt.col_offset,
+                "SHAPE004",
+                f"return shape {inferred.shape} contradicts the docstring "
+                f"contract shape {declared}",
+                data={
+                    "declared": str(declared),
+                    "inferred": str(inferred.shape),
+                },
+            )
+
+
+def _worth_analysing(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Cheap gate: does the function touch any shape-bearing construct?"""
+    doc = ast.get_docstring(func)
+    if doc and _SHAPE_CONTRACT.search(doc):
+        return True
+    for node in ast.walk(func):
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in _TRIGGER_ATTRS:
+            return True
+    return False
+
+
+def _shape_contract(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> tuple[int, ...] | None:
+    """The all-integer docstring shape contract, if declared."""
+    doc = ast.get_docstring(func)
+    if not doc:
+        return None
+    match = _SHAPE_CONTRACT.search(doc)
+    if match is None:
+        return None
+    return tuple(int(part) for part in match.group(1).split(","))

@@ -1,0 +1,359 @@
+"""Symbolic ndarray shape domain for the abstract interpreter.
+
+A :class:`Dim` is one axis extent: a numeric :class:`~repro.analysis.intervals.Interval`
+(possibly an exact constant) plus an optional **symbol** — two dims with
+the same symbol are provably equal even when their numeric value is
+unknown (``params.oc`` is ``params.oc`` on both sides of a matmul).  A
+:class:`Shape` is a tuple of dims, or the unknown-rank TOP.
+
+The operations mirror the numpy semantics the codebase actually uses —
+``broadcast``/``matmul``/``reshape``/``transpose``/``concatenate``/
+``stack`` and basic slicing — and each returns both the result shape and
+a *proof of mismatch* when one exists, so the ``shape`` checker reports
+the two inferred operand shapes rather than a bare "incompatible".
+
+Soundness contract: a mismatch is only ever reported when the concrete
+shapes **provably** conflict (constant axes that differ and cannot
+broadcast, symbol-equal axes aside).  Unknown dims stay silent.  The
+hypothesis suite cross-checks :func:`broadcast` against
+``np.broadcast_shapes`` on random concrete shapes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+from .intervals import Interval
+
+__all__ = [
+    "Dim",
+    "Shape",
+    "broadcast",
+    "concatenate",
+    "matmul",
+    "reshape",
+    "stack",
+    "transpose",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Dim:
+    """One axis extent: a numeric range plus an optional symbolic identity."""
+
+    ival: Interval
+    sym: str | None = None
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def const(value: int) -> "Dim":
+        """An exactly known axis extent."""
+        return Dim(ival=Interval.const(value))
+
+    @staticmethod
+    def symbol(name: str, ival: Interval | None = None) -> "Dim":
+        """A named but numerically unknown extent (``param:oc``)."""
+        return Dim(ival=ival if ival is not None else Interval.nonneg(),
+                   sym=name)
+
+    @staticmethod
+    def top() -> "Dim":
+        """A completely unknown extent."""
+        return Dim(ival=Interval.nonneg())
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def value(self) -> int | None:
+        """The exact extent when constant, else ``None``."""
+        if self.ival.is_const and self.ival.lo >= 0:
+            return int(self.ival.lo)
+        return None
+
+    def same(self, other: "Dim") -> bool:
+        """Provably equal: same symbol, or the same constant."""
+        if self.sym is not None and self.sym == other.sym:
+            return True
+        a, b = self.value, other.value
+        return a is not None and a == b
+
+    def disjoint(self, other: "Dim") -> bool:
+        """Provably unequal: the numeric ranges share no value."""
+        return not self.ival.intersects(other.ival)
+
+    def can_be(self, value: int) -> bool:
+        """True unless the extent provably differs from ``value``."""
+        return self.ival.contains(float(value))
+
+    # -- lattice -----------------------------------------------------------
+
+    def join(self, other: "Dim") -> "Dim":
+        """Least upper bound; keeps the symbol only when both agree."""
+        sym = self.sym if self.sym == other.sym else None
+        return Dim(ival=self.ival.join(other.ival), sym=sym)
+
+    def substitute(self, bindings: dict[str, "Dim"]) -> "Dim":
+        """Replace a symbolic dim by its call-site binding, if any."""
+        if self.sym is not None and self.sym in bindings:
+            return bindings[self.sym]
+        return self
+
+    def __str__(self) -> str:
+        if self.value is not None:
+            return str(self.value)
+        if self.sym is not None:
+            return self.sym.rpartition(":")[2] or self.sym
+        return "?"
+
+
+@dataclasses.dataclass(frozen=True)
+class Shape:
+    """A tuple of axis extents, or the unknown-rank TOP (``dims is None``)."""
+
+    dims: tuple[Dim, ...] | None
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def top() -> "Shape":
+        """Unknown rank and extents."""
+        return Shape(dims=None)
+
+    @staticmethod
+    def of(*extents: int) -> "Shape":
+        """A fully constant shape."""
+        return Shape(dims=tuple(Dim.const(e) for e in extents))
+
+    @staticmethod
+    def from_dims(dims: Iterable[Dim]) -> "Shape":
+        """A shape from explicit dims."""
+        return Shape(dims=tuple(dims))
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def rank(self) -> int | None:
+        """Number of axes, or ``None`` when unknown."""
+        return None if self.dims is None else len(self.dims)
+
+    @property
+    def is_top(self) -> bool:
+        """True when nothing is known."""
+        return self.dims is None
+
+    def concrete(self) -> tuple[int, ...] | None:
+        """The exact shape when every axis is constant, else ``None``."""
+        if self.dims is None:
+            return None
+        out = []
+        for dim in self.dims:
+            if dim.value is None:
+                return None
+            out.append(dim.value)
+        return tuple(out)
+
+    def size(self) -> Interval:
+        """Interval of the element count (product of extents)."""
+        if self.dims is None:
+            return Interval.nonneg()
+        total = Interval.const(1)
+        for dim in self.dims:
+            total = total.mul(dim.ival)
+        return total.meet(Interval.nonneg())
+
+    # -- lattice -----------------------------------------------------------
+
+    def join(self, other: "Shape") -> "Shape":
+        """Least upper bound; rank disagreement collapses to TOP."""
+        if self.dims is None or other.dims is None:
+            return Shape.top()
+        if len(self.dims) != len(other.dims):
+            return Shape.top()
+        return Shape(
+            dims=tuple(a.join(b) for a, b in zip(self.dims, other.dims))
+        )
+
+    def substitute(self, bindings: dict[str, Dim]) -> "Shape":
+        """Apply call-site symbol bindings to every axis."""
+        if self.dims is None:
+            return self
+        return Shape(dims=tuple(d.substitute(bindings) for d in self.dims))
+
+    def __str__(self) -> str:
+        if self.dims is None:
+            return "(?)"
+        inner = ", ".join(str(d) for d in self.dims)
+        if len(self.dims) == 1:
+            inner += ","
+        return f"({inner})"
+
+
+# -- numpy operation models ------------------------------------------------
+
+
+def broadcast(a: Shape, b: Shape) -> tuple[Shape, tuple[Dim, Dim] | None]:
+    """Numpy broadcasting of two shapes.
+
+    Returns ``(result, conflict)`` where ``conflict`` is the provably
+    incompatible ``(dim_a, dim_b)`` pair, if any (neither side can be 1
+    and the extents are provably different).  With any unknown rank the
+    result is TOP and no conflict is ever claimed.
+    """
+    if a.dims is None or b.dims is None:
+        return Shape.top(), None
+    rank = max(len(a.dims), len(b.dims))
+    out: list[Dim] = []
+    conflict: tuple[Dim, Dim] | None = None
+    for axis in range(rank):
+        da = a.dims[len(a.dims) - rank + axis] if axis >= rank - len(a.dims) \
+            else Dim.const(1)
+        db = b.dims[len(b.dims) - rank + axis] if axis >= rank - len(b.dims) \
+            else Dim.const(1)
+        if da.value == 1:
+            out.append(db)
+            continue
+        if db.value == 1:
+            out.append(da)
+            continue
+        if da.same(db):
+            out.append(da)
+            continue
+        if da.disjoint(db) and not da.can_be(1) and not db.can_be(1):
+            conflict = conflict or (da, db)
+            out.append(da.join(db))
+            continue
+        # Maybe-equal / maybe-1: the result extent is one of the two.
+        out.append(da.join(db))
+    return Shape(dims=tuple(out)), conflict
+
+
+def matmul(a: Shape, b: Shape) -> tuple[Shape, tuple[Dim, Dim] | None]:
+    """``a @ b`` / ``np.matmul``/2-D ``np.dot`` shape algebra.
+
+    Returns ``(result, conflict)``; ``conflict`` is the provably unequal
+    contraction pair ``(a[-1], b[-2])`` (or ``b[-1]`` for 1-D ``b``).
+    Batch axes are broadcast; batch conflicts are *not* reported here —
+    the contraction axis is the high-signal check.
+    """
+    if a.dims is None or b.dims is None:
+        return Shape.top(), None
+    if len(a.dims) == 0 or len(b.dims) == 0:
+        return Shape.top(), None
+    inner_a = a.dims[-1]
+    inner_b = b.dims[-2] if len(b.dims) >= 2 else b.dims[-1]
+    conflict = None
+    if not inner_a.same(inner_b) and inner_a.disjoint(inner_b):
+        conflict = (inner_a, inner_b)
+    if len(a.dims) == 1 and len(b.dims) == 1:
+        return Shape(dims=()), conflict
+    if len(a.dims) == 1:
+        return Shape(dims=(*b.dims[:-2], b.dims[-1])), conflict
+    if len(b.dims) == 1:
+        return Shape(dims=a.dims[:-1]), conflict
+    batch, _ = broadcast(
+        Shape(dims=a.dims[:-2]), Shape(dims=b.dims[:-2])
+    )
+    if batch.dims is None:
+        return Shape.top(), conflict
+    return Shape(dims=(*batch.dims, a.dims[-2], b.dims[-1])), conflict
+
+
+def reshape(
+    source: Shape, target: Shape
+) -> tuple[Shape, tuple[int, int] | None]:
+    """``a.reshape(target)``: element counts must agree.
+
+    Returns ``(result, counts)`` where ``counts`` is the provably
+    mismatched ``(source_size, target_size)`` pair when both are exact
+    constants and differ.  A ``-1`` wildcard axis (modelled as an
+    unknown dim) suppresses the check, as does any unknown extent.
+    """
+    if target.dims is None:
+        return Shape.top(), None
+    src_size = source.size()
+    dst_size = target.size()
+    if (
+        src_size.is_const
+        and dst_size.is_const
+        and src_size.lo != dst_size.lo
+    ):
+        return target, (int(src_size.lo), int(dst_size.lo))
+    return target, None
+
+
+def transpose(source: Shape, axes: tuple[int, ...] | None = None) -> Shape:
+    """``a.T`` / ``np.transpose`` / ``a.transpose(axes)``."""
+    if source.dims is None:
+        return Shape.top()
+    if axes is None:
+        return Shape(dims=tuple(reversed(source.dims)))
+    if sorted(axes) != list(range(len(source.dims))):
+        return Shape.top()
+    return Shape(dims=tuple(source.dims[i] for i in axes))
+
+
+def concatenate(
+    shapes: list[Shape], axis: int = 0
+) -> tuple[Shape, tuple[int, Dim, Dim] | None]:
+    """``np.concatenate(seq, axis)``.
+
+    All non-concatenation axes must agree; returns ``(result, conflict)``
+    with the first provably mismatched ``(axis, dim_a, dim_b)``.
+    """
+    known = [s for s in shapes if s.dims is not None]
+    if not known or len(known) != len(shapes):
+        return Shape.top(), None
+    rank = known[0].rank
+    assert rank is not None
+    if any(s.rank != rank for s in known) or rank == 0:
+        return Shape.top(), None
+    if axis < 0:
+        axis += rank
+    if not 0 <= axis < rank:
+        return Shape.top(), None
+    out: list[Dim] = []
+    conflict: tuple[int, Dim, Dim] | None = None
+    for i in range(rank):
+        dims = [s.dims[i] for s in known]  # type: ignore[index]
+        if i == axis:
+            total = Interval.const(0)
+            for dim in dims:
+                total = total.add(dim.ival)
+            out.append(Dim(ival=total.meet(Interval.nonneg())))
+            continue
+        merged = dims[0]
+        for dim in dims[1:]:
+            if not merged.same(dim) and merged.disjoint(dim):
+                conflict = conflict or (i, merged, dim)
+            merged = merged.join(dim)
+        out.append(merged)
+    return Shape(dims=tuple(out)), conflict
+
+
+def stack(
+    shapes: list[Shape], axis: int = 0
+) -> tuple[Shape, tuple[int, Dim, Dim] | None]:
+    """``np.stack(seq, axis)``: all shapes must agree exactly."""
+    known = [s for s in shapes if s.dims is not None]
+    if not known or len(known) != len(shapes):
+        return Shape.top(), None
+    rank = known[0].rank
+    assert rank is not None
+    if any(s.rank != rank for s in known):
+        return Shape.top(), None
+    if axis < 0:
+        axis += rank + 1
+    if not 0 <= axis <= rank:
+        return Shape.top(), None
+    conflict: tuple[int, Dim, Dim] | None = None
+    merged: list[Dim] = list(known[0].dims)  # type: ignore[arg-type]
+    for s in known[1:]:
+        for i, dim in enumerate(s.dims):  # type: ignore[arg-type]
+            if not merged[i].same(dim) and merged[i].disjoint(dim):
+                conflict = conflict or (i, merged[i], dim)
+            merged[i] = merged[i].join(dim)
+    count = Dim.const(len(shapes))
+    dims = (*merged[:axis], count, *merged[axis:])
+    return Shape(dims=dims), conflict

@@ -149,10 +149,18 @@ class ProjectChecker(abc.ABC):
         """Yield findings over the whole-program module index."""
 
     def finding_at(
-        self, path: str, line: int, col: int, code: str, message: str
+        self,
+        path: str,
+        line: int,
+        col: int,
+        code: str,
+        message: str,
+        data: dict | None = None,
     ) -> Finding:
-        """Build a finding at an explicit location."""
-        return Finding(path=path, line=line, col=col, code=code, message=message)
+        """Build a finding at an explicit location (with optional evidence)."""
+        return Finding(
+            path=path, line=line, col=col, code=code, message=message, data=data
+        )
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:

@@ -132,6 +132,8 @@ def run_claims(include_slow: bool = False) -> list[ClaimResult]:
 
     # --- V-E: energy ------------------------------------------------------
     bp_onchip = [r.energy.on_chip for r in runs["bp"]]
+    if not bp_onchip:
+        raise ValueError("no Binary Parallel layer results to compare against")
     bp_sram_leak = sum(r.energy.sram_leakage for r in runs["bp"])
     check(
         "V-E",

@@ -91,10 +91,17 @@ def run_efficiency_experiment(
                 for c, b in zip(cand, base)
                 if b.power_efficiency() > 0
             ]
+            if not e_ratios or not p_ratios:
+                raise ValueError(
+                    f"no positive-efficiency layers comparing {design!r} "
+                    f"against {baseline!r}"
+                )
             eei[baseline][design] = sum(e_ratios) / len(e_ratios)
             pei[baseline][design] = sum(p_ratios) / len(p_ratios)
             eei_max[baseline][design] = max(e_ratios)
             pei_max[baseline][design] = max(p_ratios)
+    if not layers:
+        raise ValueError(f"workload {workload!r} has no layers")
     util = sum(r.utilization for r in sims["Binary Parallel"]) / len(layers)
     return EfficiencyResult(
         workload=workload,
@@ -116,6 +123,8 @@ def mean_utilization(platform: Platform, workload: str = "alexnet") -> float:
     from ..gemm.tiling import tile_gemm
 
     utils = [tile_gemm(l, platform.rows, platform.cols).utilization for l in layers]
+    if not utils:
+        raise ValueError(f"workload {workload!r} has no layers")
     return sum(utils) / len(utils)
 
 

@@ -68,6 +68,8 @@ def reduction_stats(
     reds = [
         100.0 * (1.0 - c / b) for c, b in zip(candidate, baseline) if b > 0
     ]
+    if not reds:
+        raise ValueError("no positive-baseline layers to compare")
     return {
         "min": min(reds),
         "max": max(reds),

@@ -118,6 +118,8 @@ def array_shape_sweep(
     for rows, cols in shapes:
         array = ArrayConfig(rows=rows, cols=cols, scheme=scheme, bits=bits, ebt=ebt)
         results = simulate_network(layers, array, memory)
+        if not results:
+            raise ValueError("simulate_network returned no layer results")
         points.append(
             ShapeSweepPoint(
                 rows=rows,

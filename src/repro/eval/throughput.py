@@ -34,6 +34,8 @@ class ThroughputResult:
     def mean_conv_contention(self) -> float:
         """Average runtime overhead over the convolution layers (V-D)."""
         convs = [r for r in self.layers if r.layer.startswith("Conv")]
+        if not convs:
+            return 0.0
         return sum(r.contention_overhead for r in convs) / len(convs)
 
 

@@ -67,6 +67,8 @@ class RoundRobinRouter(Router):
         self, request: Request, instances: list[Instance], now_s: float
     ) -> Instance:
         """The next instance in rotation (modulo the current set size)."""
+        if not instances:
+            raise ValueError("cannot route with no routable instances")
         chosen = instances[self._turn % len(instances)]
         self._turn += 1
         return chosen

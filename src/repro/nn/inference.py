@@ -23,6 +23,8 @@ def evaluate(
     batch_size: int = 64,
 ) -> float:
     """Top-1 accuracy of ``model`` on (x, y) under ``spec``."""
+    if len(y) == 0:
+        raise ValueError("empty evaluation set")
     correct = 0
     for start in range(0, len(y), batch_size):
         xb = x[start : start + batch_size]

@@ -25,6 +25,8 @@ def softmax_cross_entropy(
     expz = np.exp(z)
     probs = expz / expz.sum(axis=1, keepdims=True)
     n = labels.size
+    if n == 0:
+        raise ValueError("empty batch")
     loss = float(-np.log(probs[np.arange(n), labels] + 1e-12).mean())
     grad = probs.copy()
     grad[np.arange(n), labels] -= 1.0

@@ -90,7 +90,7 @@ def uniform_arrivals(
     if horizon_s <= 0:
         raise ValueError(f"horizon_s must be positive, got {horizon_s}")
     gap_s = 1.0 / rate_per_s
-    count = int(horizon_s / gap_s)
+    count = int(horizon_s * rate_per_s)
     times = [i * gap_s for i in range(count) if i * gap_s < horizon_s]
     return _with_deadlines(workload, times, slo_s, start_id)
 

@@ -281,6 +281,8 @@ class ServeExecutor:
         metrics.assert_conserved(self.queue.depth, len(self._in_service))
 
     def _complete(self, now_s: float, metrics: ServeMetrics) -> None:
+        if not self._in_service:
+            return
         batch_size = len(self._in_service)
         energy_share_j = self._service_energy_j / batch_size
         for request in self._in_service:

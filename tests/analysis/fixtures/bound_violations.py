@@ -1,0 +1,90 @@
+"""Fixture: every BND code, with guarded look-alikes that must stay silent."""
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis.contracts import (
+    require_in_range,
+    require_positive,
+    require_power_of_two,
+)
+
+
+def unguarded_mean(xs):
+    return sum(xs) / len(xs)  # line 15: BND001
+
+
+def guarded_mean(xs):
+    if not xs:
+        return 0.0
+    return sum(xs) / len(xs)  # clean: truthiness guard proves len >= 1
+
+
+def inline_guarded_mean(xs):
+    return sum(xs) / len(xs) if xs else 0.0  # clean: conditional guard
+
+
+def comparison_guarded(n):
+    if n > 0:
+        return 100.0 / n  # clean: n proved positive on this path
+    return 0.0
+
+
+def negative_cycle_sink():
+    total_cycles = 5 - 12  # line 35: BND002
+    return total_cycles
+
+
+def negative_energy_sink(base_j):
+    leak_j = -3.0  # line 40: BND002
+    return base_j + leak_j
+
+
+def nonneg_sink_ok():
+    total_cycles = 12 - 5  # clean: provably nonnegative
+    return total_cycles
+
+
+def fold_index_overrun():
+    tile = np.zeros((4, 4))
+    acc = 0.0
+    for fold in range(5):
+        acc += tile[fold, 0]  # line 53: BND003
+    return acc
+
+
+def fold_index_ok():
+    tile = np.zeros((4, 4))
+    acc = 0.0
+    for fold in range(4):
+        acc += tile[fold, 0]  # clean: range bound matches the extent
+    return acc
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduleConfig:
+    folds: int
+    bits: int = 8
+    ebt: int = 8
+
+    def validate(self) -> None:
+        require_positive("ScheduleConfig", folds=self.folds)
+        require_power_of_two("ScheduleConfig", bits=self.bits)
+        require_in_range("ScheduleConfig", "ebt", self.ebt, 2, self.bits)
+
+
+def contradicted_positive():
+    return ScheduleConfig(folds=0)  # line 78: BND004
+
+
+def contradicted_range():
+    return ScheduleConfig(folds=4, bits=8, ebt=12)  # line 82: BND004
+
+
+def contradicted_power_of_two():
+    return ScheduleConfig(folds=4, bits=12)  # line 86: BND004
+
+
+def config_ok():
+    return ScheduleConfig(folds=4, bits=16, ebt=6)  # clean

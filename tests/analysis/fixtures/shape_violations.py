@@ -1,0 +1,93 @@
+"""Fixture: every SHAPE code, with clean look-alikes that must stay silent."""
+
+import numpy as np
+
+
+def planted_matmul_dim_swap():
+    # The classic transposed-operand bug: (3, 4) @ (3, 5) contracts 4
+    # against 3.  SHAPE001 must report both inferred shapes.
+    a = np.zeros((3, 4))
+    b = np.zeros((3, 5))
+    return a @ b  # line 11: SHAPE001
+
+
+def matmul_call_form():
+    a = np.ones((2, 8))
+    b = np.ones((7, 2))
+    return np.matmul(a, b)  # line 17: SHAPE001
+
+
+def broadcast_mismatch():
+    a = np.zeros((4, 3))
+    b = np.zeros((4, 2))
+    return a + b  # line 23: SHAPE001
+
+
+def reshape_count_mismatch():
+    xs = np.ones((2, 6))
+    return xs.reshape(5, 3)  # line 28: SHAPE002
+
+
+def np_reshape_count_mismatch():
+    xs = np.ones((4, 4))
+    return np.reshape(xs, (3, 3))  # line 33: SHAPE002
+
+
+def ragged_concat():
+    a = np.zeros((2, 3))
+    b = np.zeros((2, 4))
+    return np.concatenate([a, b], axis=0)  # line 39: SHAPE003
+
+
+def ragged_stack():
+    a = np.zeros((5, 2))
+    b = np.zeros((6, 2))
+    return np.stack([a, b], axis=0)  # line 45: SHAPE003
+
+
+def contract_violation():
+    """Confusion matrix of shape (3, 3)."""
+    return np.zeros((4, 4))  # line 50: SHAPE004
+
+
+def matmul_ok():
+    a = np.zeros((3, 4))
+    b = np.zeros((4, 5))
+    return a @ b  # clean: contraction agrees
+
+
+def reshape_ok():
+    xs = np.ones((2, 6))
+    return xs.reshape(3, 4)  # clean: 12 == 12
+
+
+def reshape_wildcard_ok():
+    xs = np.ones((2, 6))
+    return xs.reshape(-1, 3)  # clean: -1 absorbs the remainder
+
+
+def concat_ok():
+    a = np.zeros((2, 3))
+    b = np.zeros((5, 3))
+    return np.concatenate([a, b], axis=0)  # clean: axis 1 agrees
+
+
+def broadcast_scalar_ok():
+    a = np.zeros((4, 3))
+    return a * 2.0  # clean: scalar broadcast
+
+
+def broadcast_ones_ok():
+    a = np.zeros((4, 3))
+    b = np.zeros((1, 3))
+    return a + b  # clean: size-1 dim broadcasts
+
+
+def contract_ok():
+    """Returns the identity of shape (3, 3)."""
+    return np.eye(3)  # clean: matches the docstring contract
+
+
+def unknown_shapes_stay_silent(a, b):
+    # Both operands are unknown-shape parameters: no proof, no finding.
+    return a @ b

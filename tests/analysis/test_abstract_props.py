@@ -1,0 +1,239 @@
+"""Property suites for the abstract-interpretation lattices.
+
+Hypothesis drives the algebraic laws the interval and shape domains
+must satisfy — soundness of every checker proof rests on them — plus
+the satellite regression: the interval interpreter terminates by
+*widening*, never by leaning on the solver's visit-budget damping.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import textwrap
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.absint import Interpreter
+from repro.analysis.dataflow import SolveStats
+from repro.analysis.intervals import BOTTOM, TOP, Interval
+from repro.analysis.modgraph import build_index
+from repro.analysis.shapes import Dim, Shape, broadcast
+from repro.analysis.visitor import SourceFile
+
+# -- strategies ------------------------------------------------------------
+
+_bounds = st.one_of(
+    st.integers(min_value=-50, max_value=50).map(float),
+    st.sampled_from([-math.inf, math.inf]),
+)
+
+
+@st.composite
+def intervals(draw):
+    lo = draw(_bounds)
+    hi = draw(_bounds)
+    if lo > hi:
+        lo, hi = hi, lo
+    if lo == math.inf or hi == -math.inf:
+        return BOTTOM
+    return Interval.range(lo, hi)
+
+
+def dims():
+    return st.one_of(
+        st.integers(min_value=0, max_value=8).map(Dim.const),
+        st.sampled_from(["n", "m", "k"]).map(Dim.symbol),
+        st.just(Dim.top()),
+    )
+
+
+def shapes():
+    return st.one_of(
+        st.just(Shape.top()),
+        st.lists(dims(), min_size=0, max_size=4).map(
+            lambda ds: Shape.from_dims(tuple(ds))
+        ),
+    )
+
+
+def concrete_shapes():
+    return st.lists(
+        st.integers(min_value=1, max_value=5), min_size=0, max_size=4
+    ).map(tuple)
+
+
+# -- interval lattice laws -------------------------------------------------
+
+
+class TestIntervalLattice:
+    @given(intervals(), intervals())
+    def test_join_is_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(intervals(), intervals(), intervals())
+    def test_join_is_associative(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(intervals(), intervals())
+    def test_meet_is_commutative(self, a, b):
+        assert a.meet(b) == b.meet(a)
+
+    @given(intervals(), intervals(), intervals())
+    def test_meet_is_associative(self, a, b, c):
+        assert a.meet(b).meet(c) == a.meet(b.meet(c))
+
+    @given(intervals(), intervals())
+    def test_join_is_an_upper_bound(self, a, b):
+        joined = a.join(b)
+        assert joined.contains_interval(a)
+        assert joined.contains_interval(b)
+
+    @given(intervals(), intervals())
+    def test_meet_is_a_lower_bound(self, a, b):
+        met = a.meet(b)
+        assert a.contains_interval(met)
+        assert b.contains_interval(met)
+
+    @given(intervals(), intervals())
+    def test_widen_covers_the_join(self, a, b):
+        # Widening over-approximates: a ∇ b ⊒ a ⊔ b.
+        assert a.widen(b).contains_interval(a.join(b))
+
+    @given(intervals(), intervals())
+    def test_narrow_stays_between(self, a, b):
+        # Narrowing refines a widened fact without leaving it: the
+        # result still covers the meet and stays inside the original.
+        narrowed = a.narrow(b)
+        assert a.contains_interval(narrowed) or a.is_bottom
+
+    @given(intervals())
+    def test_top_and_bottom_are_units(self, a):
+        assert a.join(BOTTOM) == a
+        assert a.meet(TOP) == a
+        assert a.join(TOP) == TOP
+        assert a.meet(BOTTOM) == BOTTOM
+
+    @given(st.lists(intervals(), min_size=1, max_size=30))
+    def test_widening_reaches_a_fixpoint_in_bounded_steps(self, chain):
+        # Any sequence of facts, fed through widening, must stabilise
+        # in a handful of steps: each bound can only relax to ±inf once.
+        acc = chain[0]
+        changes = 0
+        for nxt in chain[1:]:
+            widened = acc.widen(nxt)
+            if widened != acc:
+                changes += 1
+            acc = widened
+        assert changes <= 4
+
+
+# -- shape domain laws -----------------------------------------------------
+
+
+class TestShapeDomain:
+    @given(shapes(), shapes())
+    def test_join_is_commutative(self, a, b):
+        assert str(a.join(b)) == str(b.join(a))
+
+    @given(shapes())
+    def test_join_is_idempotent_on_rank(self, a):
+        joined = a.join(a)
+        assert joined.rank == a.rank
+
+    @given(concrete_shapes(), concrete_shapes())
+    def test_broadcast_matches_numpy(self, a, b):
+        ours, conflict = broadcast(Shape.of(*a), Shape.of(*b))
+        try:
+            expected = np.broadcast_shapes(a, b)
+        except ValueError:
+            assert conflict is not None
+            return
+        assert conflict is None
+        assert ours.concrete() == expected
+
+    @given(concrete_shapes(), concrete_shapes())
+    def test_broadcast_is_commutative(self, a, b):
+        ab, conflict_ab = broadcast(Shape.of(*a), Shape.of(*b))
+        ba, conflict_ba = broadcast(Shape.of(*b), Shape.of(*a))
+        assert (conflict_ab is None) == (conflict_ba is None)
+        if conflict_ab is None:
+            assert ab.concrete() == ba.concrete()
+
+
+# -- the widening/termination regression (satellite) -----------------------
+
+
+def _function_analysis(src: str):
+    source = SourceFile.parse("loop_fixture.py", textwrap.dedent(src))
+    index = build_index([source])
+    info = next(iter(index.targets()))
+    func = next(
+        node
+        for node in ast.walk(info.source.tree)
+        if isinstance(node, ast.FunctionDef)
+    )
+    return Interpreter(index).analysis(info, func)
+
+
+LOOPY = """
+    def count_up(n):
+        total = 0
+        i = 0
+        while i < n:
+            total = total + i
+            i = i + 1
+        for j in range(8):
+            total = total + j
+        return total
+"""
+
+
+class TestWideningTerminates:
+    def test_interval_analysis_never_hits_the_damping_budget(self):
+        # The ascending chain 0, 1, 2, ... is infinite; only widening
+        # at the loop head makes the fixpoint finite.  The solver's
+        # visit budget is a backstop for *non-monotone* analyses — the
+        # interval interpreter must converge without ever tripping it.
+        fa = _function_analysis(LOOPY)
+        assert isinstance(fa.stats, SolveStats)
+        assert fa.stats.budget > 0
+        assert fa.stats.damped == 0
+        assert fa.stats.visits
+        assert all(
+            count < fa.stats.budget for count in fa.stats.visits.values()
+        )
+
+    def test_widened_loop_counter_is_sound(self):
+        fa = _function_analysis(LOOPY)
+        ret = fa.return_value()
+        # total accumulates nonnegative increments from 0: the widened
+        # fact must keep the true range [0, +inf] — no wrap to bottom.
+        assert ret.ival.contains(0.0)
+        assert not ret.ival.is_bottom
+
+    def test_visit_budget_parameter_is_honoured(self):
+        # The budget is exposed and observable: a custom budget lands
+        # in the stats, and damping stays at zero even when tight.
+        from repro.analysis.cfg import build_cfg
+        from repro.analysis.dataflow import solve
+
+        source = SourceFile.parse(
+            "budget_fixture.py",
+            textwrap.dedent(LOOPY),
+        )
+        index = build_index([source])
+        info = next(iter(index.targets()))
+        func = next(
+            node
+            for node in ast.walk(info.source.tree)
+            if isinstance(node, ast.FunctionDef)
+        )
+        fa = Interpreter(index).analysis(info, func)
+        cfg = build_cfg(func)
+        stats = SolveStats()
+        solve(cfg, fa.problem, visit_budget=3, stats=stats)
+        assert stats.budget == 3
+        assert stats.damped == 0

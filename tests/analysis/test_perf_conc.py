@@ -3,7 +3,7 @@
 Every assertion pins the finding *code* and *line* so a checker
 regression (wrong anchor, missed case, new false positive) fails loudly.
 The profile tests exercise the ``--profile`` path: measured-hot
-annotation, hotness ranking, and the schema-v3 JSON ``profile`` block.
+annotation, hotness ranking, and the schema-v4 JSON ``profile`` block.
 """
 
 from __future__ import annotations
@@ -171,7 +171,7 @@ class TestSchemaV3:
                 profile=result.profile_rank,
             )
         )
-        assert doc["schema_version"] == JSON_SCHEMA_VERSION == 3
+        assert doc["schema_version"] == JSON_SCHEMA_VERSION == 4
         assert doc["summary"]["by_group"] == {"perf": len(result.findings)}
         parsed = [Finding.from_dict(row) for row in doc["findings"]]
         assert parsed == sorted(result.findings)

@@ -1,0 +1,137 @@
+"""SHAPE and BND checkers against fixture files with known violations.
+
+Every assertion pins the finding *code* and *line* so a checker
+regression (wrong anchor, missed case, new false positive) fails loudly.
+The payload tests additionally pin the inferred-evidence ``data`` dict
+that rides in the schema-v4 JSON report.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import analyze
+from repro.analysis.findings import Finding
+from repro.analysis.reporting import JSON_SCHEMA_VERSION, render_json
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _analyze(name: str, select: list[str]):
+    result = analyze([FIXTURES / name], select=select)
+    assert result.files_scanned == 1
+    return result.findings
+
+
+def _codes(name: str, select: list[str]) -> list[tuple[str, int]]:
+    return [(f.code, f.line) for f in _analyze(name, select)]
+
+
+class TestShapeFixture:
+    def test_expected_findings(self):
+        assert _codes("shape_violations.py", select=["shape"]) == [
+            ("SHAPE001", 11),  # planted matmul dim swap
+            ("SHAPE001", 17),  # np.matmul call form
+            ("SHAPE001", 23),  # elementwise broadcast mismatch
+            ("SHAPE002", 28),  # method reshape count mismatch
+            ("SHAPE002", 33),  # np.reshape count mismatch
+            ("SHAPE003", 39),  # ragged concatenate
+            ("SHAPE003", 45),  # ragged stack
+            ("SHAPE004", 50),  # docstring contract violation
+        ]
+
+    def test_planted_matmul_reports_both_inferred_shapes(self):
+        finding = next(
+            f
+            for f in _analyze("shape_violations.py", ["shape"])
+            if f.line == 11
+        )
+        assert finding.code == "SHAPE001"
+        assert finding.data == {"left": "(3, 4)", "right": "(3, 5)"}
+        assert "(3, 4)" in finding.message and "(3, 5)" in finding.message
+
+    def test_reshape_payload_carries_element_counts(self):
+        finding = next(
+            f
+            for f in _analyze("shape_violations.py", ["shape"])
+            if f.code == "SHAPE002" and f.line == 28
+        )
+        assert finding.data == {
+            "source": "(2, 6)",
+            "target": "(5, 3)",
+            "elements": [12, 15],
+        }
+
+    def test_clean_functions_stay_clean(self):
+        # Everything from matmul_ok down must contribute nothing: the
+        # full expected set is pinned above.
+        lines = {line for _, line in _codes("shape_violations.py", ["shape"])}
+        assert all(line <= 50 for line in lines)
+
+
+class TestBoundFixture:
+    def test_expected_findings(self):
+        assert _codes("bound_violations.py", select=["bound"]) == [
+            ("BND001", 15),  # unguarded len() divide
+            ("BND002", 35),  # provably negative cycles sink
+            ("BND002", 40),  # provably negative energy sink
+            ("BND003", 53),  # fold index escapes the tile extent
+            ("BND004", 78),  # require_positive contradiction
+            ("BND004", 82),  # require_in_range contradiction
+            ("BND004", 86),  # require_power_of_two contradiction
+        ]
+
+    def test_guards_prove_silence(self):
+        # guarded_mean / inline_guarded_mean / comparison_guarded sit
+        # between lines 18 and 31; none may fire.
+        lines = {line for _, line in _codes("bound_violations.py", ["bound"])}
+        assert not any(18 <= line <= 31 for line in lines)
+
+    def test_bnd004_payload_names_the_contract(self):
+        finding = next(
+            f
+            for f in _analyze("bound_violations.py", ["bound"])
+            if f.line == 82
+        )
+        assert finding.data == {
+            "field": "ebt",
+            "constraint": "must lie in [2, 8]",
+            "value": "[12, 12]",
+        }
+
+
+class TestSelectTokens:
+    def test_select_is_case_insensitive(self):
+        upper = _codes("shape_violations.py", select=["SHAPE"])
+        lower = _codes("shape_violations.py", select=["shape"])
+        assert upper == lower and upper
+        mixed = _codes("bound_violations.py", select=["Bound"])
+        assert mixed == _codes("bound_violations.py", select=["bound"])
+
+    def test_select_by_exact_code(self):
+        only = _codes("bound_violations.py", select=["BND004"])
+        assert {code for code, _ in only} == {"BND004"}
+
+
+class TestSchemaV4RoundTrip:
+    def test_data_payload_round_trips_through_json(self):
+        findings = _analyze("shape_violations.py", ["shape"])
+        doc = json.loads(render_json(findings, files_scanned=1))
+        assert doc["schema_version"] == JSON_SCHEMA_VERSION == 4
+        rebuilt = [Finding.from_dict(d) for d in doc["findings"]]
+        assert rebuilt == findings
+        assert [f.data for f in rebuilt] == [f.data for f in findings]
+
+    def test_findings_without_data_omit_the_key(self):
+        finding = Finding(
+            path="x.py", line=1, col=0, code="UNIT001", message="m"
+        )
+        assert "data" not in finding.to_dict()
+        assert Finding.from_dict(finding.to_dict()).data is None
+
+    def test_data_is_excluded_from_identity(self):
+        a = Finding("x.py", 1, 0, "SHAPE001", "m", data={"left": "(1,)"})
+        b = Finding("x.py", 1, 0, "SHAPE001", "m", data={"left": "(2,)"})
+        assert a == b
+        assert len({a, b}) == 1

@@ -36,7 +36,7 @@ def test_json_report_round_trips_on_full_tree():
         default_paths(REPO_ROOT), context=context_paths(REPO_ROOT)
     )
     doc = json.loads(render_json(findings, files_scanned))
-    assert doc["schema_version"] == 3
+    assert doc["schema_version"] == 4
     assert doc["findings"] == []
     assert doc["summary"] == {"total": 0, "by_group": {}}
 
