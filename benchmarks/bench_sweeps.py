@@ -114,7 +114,6 @@ def test_accuracy_energy_pareto(benchmark, emit):
 
     space, frontier = once(benchmark, run)
     from repro.eval.pareto import format_pareto
-    from repro.schemes import ComputeScheme
 
     emit(format_pareto(space, frontier))
-    assert all(p.scheme is ComputeScheme.USYSTOLIC_RATE for p in frontier)
+    assert not any(p.label.startswith("UG@") for p in frontier)

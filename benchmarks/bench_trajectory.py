@@ -20,6 +20,10 @@ ROADMAP names:
   per wall second, including the canonical ledger merge);
 - **verify** — differential fuzzing (``execs_per_s`` = fuzz cases
   executed per wall second, seeded);
+- **schemes** — the scheme-zoo sweep (``points_per_s`` = zoo design
+  points evaluated per wall second: every registered scheme plus the
+  tubGEMM sparsity ladder, dispatched through the registry's latency
+  laws and geometry hooks);
 - **analysis** — the static-analysis suite itself (``files_per_s`` =
   source files pushed through the abstract-interpretation ``shape`` and
   ``bound`` passes per wall second, whole ``src/`` tree).
@@ -87,6 +91,7 @@ AREAS = {
     "serve": ("BENCH_serve.json", "requests_per_s"),
     "fleet": ("BENCH_fleet.json", "requests_per_s"),
     "verify": ("BENCH_verify.json", "execs_per_s"),
+    "schemes": ("BENCH_schemes.json", "points_per_s"),
     "analysis": ("BENCH_analysis.json", "files_per_s"),
 }
 
@@ -289,12 +294,37 @@ def bench_analysis(quick: bool = False) -> dict:
     }
 
 
+def bench_schemes(quick: bool = False) -> dict:
+    """Scheme-zoo sweep throughput through the registry dispatch path.
+
+    The headline is zoo design points evaluated per wall second: every
+    registered scheme plus the tubGEMM sparsity ladder, each point a
+    full network simulation whose MAC latency, traffic width and
+    schedule geometry come from the registered spec.
+    """
+    from repro.eval.schemezoo import run_schemezoo_experiment
+
+    layers = alexnet_layers()[: 2 if quick else 5]
+    sparsities = (0.0, 0.5) if quick else (0.0, 0.25, 0.5, 0.75)
+    start = time.perf_counter()
+    points = run_schemezoo_experiment(
+        EDGE, layers=layers, sparsities=sparsities
+    )
+    wall_s = time.perf_counter() - start
+    return {
+        "points_per_s": len(points) / wall_s,
+        "points": len(points),
+        "schemes_wall_s": wall_s,
+    }
+
+
 _RUNNERS = {
     "sim": bench_sim,
     "arraysim": bench_arraysim,
     "serve": bench_serve,
     "fleet": bench_fleet,
     "verify": bench_verify,
+    "schemes": bench_schemes,
     "analysis": bench_analysis,
 }
 
@@ -387,7 +417,7 @@ def main(argv: list[str] | None = None) -> int:
     """Run the micro-benchmarks; 0 ok, 1 regression gate failure."""
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument(
-        "--areas", default="sim,arraysim,serve,fleet,verify,analysis"
+        "--areas", default="sim,arraysim,serve,fleet,verify,schemes,analysis"
     )
     parser.add_argument("--out-dir", default=str(REPO_ROOT))
     parser.add_argument("--label", default="unlabelled run")

@@ -31,6 +31,7 @@ GROUPS = {
     "CONC": "conc",
     "SUP": "sup",
     "SHAPE": "shape",
+    "SCHEME": "scheme",
     "BND": "bound",
 }
 

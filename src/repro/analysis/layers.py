@@ -1,9 +1,8 @@
 """The declared package-layer DAG of the reproduction.
 
 This is the architecture contract the ``arch`` checker enforces: every
-top-level unit under ``repro`` (a subpackage, or the ``schemes`` module)
-belongs to exactly one layer, and a module may only import units in its
-own layer or below.  Layers are listed bottom-up — the same order the
+top-level unit under ``repro`` belongs to exactly one layer, and a
+module may only import units in its own layer or below.  Layers are listed bottom-up — the same order the
 generated diagram in ``docs/architecture.md`` and the ``--graph-dot``
 clusters use.
 
@@ -40,9 +39,15 @@ __all__ = [
 LAYERS: tuple[tuple[str, tuple[str, ...], str], ...] = (
     (
         "foundation",
-        ("analysis", "schemes", "unary"),
-        "contract helpers + lint substrate; scheme cycle formulas; "
-        "bit-true unary kernels (no repro imports besides each other)",
+        ("analysis", "unary"),
+        "contract helpers + lint substrate; bit-true unary kernels "
+        "(no repro imports besides each other)",
+    ),
+    (
+        "schemes",
+        ("schemes",),
+        "pluggable compute-scheme registry: specs with capability flags, "
+        "latency laws, dataflow geometries, and late-bound provider hooks",
     ),
     (
         "kernels",

@@ -37,6 +37,7 @@ from .flow import FlowChecker
 from .modgraph import ModuleIndex, build_index, render_dot
 from .perf import PerfChecker, ProfileEntry, load_profile_entries
 from .reporting import rank_by_profile, render_json, render_text
+from .scheme_checks import SchemeChecker
 from .shapecheck import ShapeChecker
 from .units import UnitChecker
 from .verification import VerificationChecker
@@ -63,6 +64,7 @@ ALL_CHECKERS: tuple[Checker, ...] = (
     ConfigChecker(),
     ExportChecker(),
     VerificationChecker(),
+    SchemeChecker(),
 )
 
 #: Whole-program passes; they run over the shared module index.
@@ -159,8 +161,8 @@ def analyze(
         if unknown:
             raise ValueError(
                 f"unknown --select token(s): {', '.join(unknown)}; "
-                "expected a checker group (unit/det/cfg/exp/ver/arch/flow/"
-                "dead/perf/conc/shape/bound/sup) or a code like UNIT002"
+                "expected a checker group (unit/det/cfg/exp/ver/scheme/arch/"
+                "flow/dead/perf/conc/shape/bound/sup) or a code like UNIT002"
             )
     profile_entries: list[ProfileEntry] = []
     if profile is not None:
@@ -350,8 +352,8 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="GROUP_OR_CODE",
         help="restrict to checker groups or codes (repeatable, "
-        "comma-separated): unit,det,cfg,exp,ver,arch,flow,dead,perf,conc,"
-        "shape,bound,sup or e.g. UNIT002",
+        "comma-separated): unit,det,cfg,exp,ver,scheme,arch,flow,dead,perf,"
+        "conc,shape,bound,sup or e.g. UNIT002",
     )
     parser.add_argument(
         "--profile",

@@ -20,9 +20,6 @@ import numpy as np
 from ..gemm.im2col import im2col
 from ..gemm.params import GemmParams
 from ..gemm.tiling import tile_gemm
-from ..schemes import ComputeScheme
-from ..unary.bitstream import Coding
-from ..unary.vectorized import hub_mac_tile
 from .config import ArrayConfig
 from .pe import make_pe
 
@@ -40,7 +37,9 @@ class UsystolicArray:
 
     def __init__(self, config: ArrayConfig) -> None:
         self.config = config
-        self._pe = make_pe(config.scheme, config.bits, config.ebt)
+        self._pe = make_pe(
+            config.scheme, config.bits, config.ebt, act_frac=config.act_frac
+        )
 
     @property
     def mac_cycles(self) -> int:
@@ -64,9 +63,9 @@ class UsystolicArray:
     def _execute_matrix(
         self, params: GemmParams, wmat: np.ndarray, cols_mat: np.ndarray
     ) -> np.ndarray:
-        scheme = self.config.scheme
-        if scheme in (ComputeScheme.BINARY_PARALLEL, ComputeScheme.BINARY_SERIAL):
-            # Binary PEs are exact; fold order cannot change the result.
+        if self.config.scheme.is_exact:
+            # Exact PEs (binary, tuGEMM/tubGEMM/DiP): fold order cannot
+            # change the result.
             return cols_mat.astype(np.float64) @ wmat.astype(np.float64)
         v = cols_mat.shape[0]
         out = np.zeros((v, wmat.shape[1]), dtype=np.float64)
@@ -76,38 +75,9 @@ class UsystolicArray:
             cols = slice(tile.c_start, tile.c_start + tile.cols)
             w_tile = wmat[rows, cols]
             x_tile = cols_mat[:, rows]
-            out[:, cols] += self._unary_tile(w_tile, x_tile)
-        return out
-
-    def _unary_tile(self, w_tile: np.ndarray, x_tile: np.ndarray) -> np.ndarray:
-        """Partial sums of one fold: rows share streams, columns reuse them."""
-        if self.config.scheme in (
-            ComputeScheme.USYSTOLIC_RATE,
-            ComputeScheme.USYSTOLIC_TEMPORAL,
-        ):
-            coding = (
-                Coding.RATE
-                if self.config.scheme is ComputeScheme.USYSTOLIC_RATE
-                else Coding.TEMPORAL
-            )
-            # Whole fold in one count-table gather; byte-identical to the
-            # per-element HubMac chain (see repro.unary.vectorized).
-            return hub_mac_tile(
-                w_tile,
-                x_tile,
-                self.config.bits,
-                ebt=self.config.ebt,
-                coding=coding,
-            )
-        v, k = x_tile.shape
-        out = np.zeros((v, w_tile.shape[1]), dtype=np.float64)
-        # Generic schemes (uGEMM) run the bit-level PE object per element;
-        # that simulation is the model, so the scalar loop stays.
-        for vec in range(v):
-            for r in range(k):
-                x = int(x_tile[vec, r])
-                for c in range(w_tile.shape[1]):  # repro-lint: ignore[perf]
-                    out[vec, c] += self._pe.multiply(int(w_tile[r, c]), x)
+            # The PE model owns the fold kernel (hub_mac_tile for
+            # uSystolic, the bit-level scalar loop for uGEMM).
+            out[:, cols] += self._pe.tile_psums(w_tile, x_tile)
         return out
 
     def _check_operand(self, arr: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:

@@ -3,8 +3,9 @@
 An :class:`ArrayConfig` pins down everything Figure 8's "systolic array
 configuration" box feeds to the widgets: shape, compute scheme, data
 bitwidth, effective bitwidth (the early-termination knob) and the implied
-PE MAC cycle count.  The dataflow is always weight stationary, applied
-uniformly to every scheme as the paper does.
+PE MAC cycle count.  The dataflow is weight stationary; its skew lags
+come from the scheme's registered :class:`~repro.schemes.DataflowGeometry`
+(the paper's schemes skew by one cycle per hop, DiP by zero).
 """
 
 from __future__ import annotations
@@ -36,6 +37,10 @@ class ArrayConfig:
     scheme: ComputeScheme
     bits: int = 8
     ebt: int | None = None
+    #: Mean activation magnitude normalised to ``2**(bits-1)`` — the
+    #: sparsity/magnitude knob of value-dependent schemes (tubGEMM).
+    #: ``None`` means the worst-case latency law.
+    act_frac: float | None = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -63,10 +68,26 @@ class ArrayConfig:
                 "ebt",
                 f"scheme {self.scheme.value} does not support early termination",
             )
+        if self.act_frac is not None:
+            require(
+                self.scheme.value_dependent_latency,
+                "ArrayConfig",
+                "act_frac",
+                f"scheme {self.scheme.value} has no value-dependent latency",
+            )
+            require(
+                0.0 <= self.act_frac <= 1.0,
+                "ArrayConfig",
+                "act_frac",
+                f"must be in [0, 1], got {self.act_frac}",
+            )
         # Validates bits/ebt/scheme compatibility eagerly, and pins the
-        # power-of-two bitstream-length invariant unary correctness rests on.
-        mac_cycles = scheme_mac_cycles(self.scheme, self.bits, self.ebt)
-        if self.scheme.is_unary:
+        # power-of-two bitstream-length invariant HUB correctness rests on
+        # (declared per scheme; value-dependent streams are exempt).
+        mac_cycles = scheme_mac_cycles(
+            self.scheme, self.bits, self.ebt, act_frac=self.act_frac
+        )
+        if self.scheme.spec.power_of_two_stream:
             require(
                 is_power_of_two(mac_cycles - 1),
                 "ArrayConfig",
@@ -79,7 +100,14 @@ class ArrayConfig:
     @property
     def mac_cycles(self) -> int:
         """PE MAC cycle count: multiplication cycles + 1 accumulation."""
-        return scheme_mac_cycles(self.scheme, self.bits, self.ebt)
+        return scheme_mac_cycles(
+            self.scheme, self.bits, self.ebt, act_frac=self.act_frac
+        )
+
+    @property
+    def geometry(self):
+        """The scheme's dataflow geometry (skew lags), for ``repro.sim``."""
+        return self.scheme.geometry
 
     @property
     def num_pes(self) -> int:

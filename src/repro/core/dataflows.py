@@ -20,7 +20,7 @@ import enum
 import math
 
 from ..gemm.params import GemmParams
-from ..schemes import ComputeScheme
+from ..schemes import ComputeScheme, scheme_mac_cycles
 
 __all__ = ["Dataflow", "cbsg_compatible", "stationary_operand", "dataflow_cycles"]
 
@@ -68,8 +68,6 @@ def dataflow_cycles(
     - OS: each PE owns one (v, oc) output and streams K operand pairs;
       only binary schemes may use it (C-BSG incompatible).
     """
-    from ..schemes import scheme_mac_cycles
-
     mac = scheme_mac_cycles(scheme, bits, ebt)
     if dataflow is Dataflow.OUTPUT_STATIONARY and scheme.is_unary:
         raise ValueError(
@@ -88,6 +86,7 @@ def dataflow_cycles(
     else:
         folds = math.ceil(v / rows) * math.ceil(oc / cols)
         streamed = k
-    preload = rows + cols - 1
-    drain = rows + cols - 2
+    geometry = scheme.geometry
+    preload = geometry.preload_cycles(rows, cols)
+    drain = geometry.drain_cycles(rows, cols)
     return folds * (preload + streamed * mac) + drain

@@ -7,10 +7,16 @@ comparable with an exact GEMM:
 - binary PEs are exact;
 - uSystolic PEs run the bit-true HUB kernel (unipolar uMUL + binary
   accumulation) whose natural output is ``w*x / 2**(N-1)`` and rescale it;
-- the uGEMM-H PE runs the bipolar uMUL over ``2**N`` cycles.
+- the uGEMM-H PE runs the bipolar uMUL over ``2**N`` cycles;
+- the zoo's exact temporal/permuted schemes (tuGEMM, tubGEMM, DiP) share
+  :class:`ExactPe`, whose latency comes from the scheme's registered law.
 
 ``mac_cycles`` on every model reports the latency the cycle simulator uses,
-keeping the functional and performance models in one place.
+keeping the functional and performance models in one place.  This module
+is the ``pe_factory`` hook *provider* of the scheme registry: every
+factory below is bound via :func:`repro.schemes.bind_hook` at import
+time, and :func:`make_pe` dispatches through the registry instead of an
+enum if-chain.
 """
 
 from __future__ import annotations
@@ -19,13 +25,25 @@ import abc
 
 import numpy as np
 
-from ..schemes import ComputeScheme, scheme_mac_cycles
+from ..schemes import (
+    ComputeScheme,
+    bind_hook,
+    get_scheme,
+    scheme_mac_cycles,
+)
 from ..unary.bitstream import Coding, quantize_bipolar
 from ..unary.mac import HubMac
 from ..unary.multiply import umul_bipolar
-from ..unary.vectorized import hub_product_counts
+from ..unary.vectorized import hub_mac_tile, hub_product_counts
 
-__all__ = ["PeModel", "BinaryPe", "UsystolicPe", "UgemmHPe", "make_pe"]
+__all__ = [
+    "PeModel",
+    "BinaryPe",
+    "UsystolicPe",
+    "UgemmHPe",
+    "ExactPe",
+    "make_pe",
+]
 
 
 class PeModel(abc.ABC):
@@ -66,6 +84,23 @@ class PeModel(abc.ABC):
                 for c in range(cols):
                     out[v, r, c] = self.multiply(int(weights[r, c]), x)
         return out, 1.0
+
+    def tile_psums(self, w_tile: np.ndarray, x_tile: np.ndarray) -> np.ndarray:
+        """Column partial sums of one fold (``(V, C)``), at integer scale.
+
+        The base implementation runs the bit-level PE element by element
+        — that simulation *is* the model for exotic schemes (uGEMM), so
+        the scalar loop stays; subclasses override with whole-fold
+        kernels proven bit-identical.
+        """
+        v, k = x_tile.shape
+        out = np.zeros((v, w_tile.shape[1]), dtype=np.float64)
+        for vec in range(v):
+            for r in range(k):
+                x = int(x_tile[vec, r])
+                for c in range(w_tile.shape[1]):  # repro-lint: ignore[perf]
+                    out[vec, c] += self.multiply(int(w_tile[r, c]), x)
+        return out
 
 
 class BinaryPe(PeModel):
@@ -139,6 +174,17 @@ class UsystolicPe(PeModel):
         )
         return counts, scale
 
+    def tile_psums(self, w_tile: np.ndarray, x_tile: np.ndarray) -> np.ndarray:
+        """Whole fold in one count-table gather; byte-identical to the
+        per-element HubMac chain (see :mod:`repro.unary.vectorized`)."""
+        return hub_mac_tile(
+            w_tile,
+            x_tile,
+            self.bits,
+            ebt=self._mac.ebt,
+            coding=self._mac.coding,
+        )
+
 
 class UgemmHPe(PeModel):
     """uGEMM-H PE: bipolar uMUL on signed data over ``2**ebt`` cycles."""
@@ -163,18 +209,80 @@ class UgemmHPe(PeModel):
         return self._cache[key]
 
 
+class ExactPe(PeModel):
+    """Exact integer MAC at a scheme-declared latency (tuGEMM/tubGEMM/DiP).
+
+    The zoo's temporal and permuted-dataflow schemes compute the exact
+    2N-bit product — their novelty is *when* it finishes (counter-driven
+    streams, magnitude-proportional pulses, skew-free launches), which the
+    schedule and PE-cost hooks model, not the arithmetic.
+    """
+
+    def multiply(self, weight: int, ifm: int) -> float:
+        return float(weight * ifm)
+
+    def fold_products(
+        self, weights: np.ndarray, vectors: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        """Exact planes: one broadcast outer product, scale 1."""
+        weights = np.asarray(weights, dtype=np.int64)
+        vectors = np.asarray(vectors, dtype=np.int64)
+        return (vectors[:, :, None] * weights[None, :, :]).astype(np.float64), 1.0
+
+    def tile_psums(self, w_tile: np.ndarray, x_tile: np.ndarray) -> np.ndarray:
+        """Exact fold: one matmul at integer scale."""
+        return x_tile.astype(np.float64) @ w_tile.astype(np.float64)
+
+
 def make_pe(
-    scheme: ComputeScheme, bits: int, ebt: int | None = None
+    scheme: ComputeScheme,
+    bits: int,
+    ebt: int | None = None,
+    act_frac: float | None = None,
 ) -> PeModel:
-    """Factory keyed on :class:`ComputeScheme`."""
-    if scheme is ComputeScheme.BINARY_PARALLEL:
-        return BinaryPe(bits, serial=False)
-    if scheme is ComputeScheme.BINARY_SERIAL:
-        return BinaryPe(bits, serial=True)
-    if scheme is ComputeScheme.USYSTOLIC_RATE:
-        return UsystolicPe(bits, ebt=ebt, coding=Coding.RATE)
-    if scheme is ComputeScheme.USYSTOLIC_TEMPORAL:
-        if ebt is not None and ebt != bits:
-            raise ValueError("temporal coding admits no early termination")
-        return UsystolicPe(bits, coding=Coding.TEMPORAL)
+    """Factory dispatching through the scheme registry's ``pe_factory`` hook."""
+    return get_scheme(scheme).make_pe(bits, ebt=ebt, act_frac=act_frac)
+
+
+def _make_binary_parallel(bits, ebt, act_frac):
+    return BinaryPe(bits, serial=False)
+
+
+def _make_binary_serial(bits, ebt, act_frac):
+    return BinaryPe(bits, serial=True)
+
+
+def _make_usystolic_rate(bits, ebt, act_frac):
+    return UsystolicPe(bits, ebt=ebt, coding=Coding.RATE)
+
+
+def _make_usystolic_temporal(bits, ebt, act_frac):
+    if ebt is not None and ebt != bits:
+        raise ValueError("temporal coding admits no early termination")
+    return UsystolicPe(bits, coding=Coding.TEMPORAL)
+
+
+def _make_ugemm(bits, ebt, act_frac):
     return UgemmHPe(bits, ebt=ebt)
+
+
+def _make_exact(code):
+    def factory(bits, ebt, act_frac):
+        spec = get_scheme(code)
+        return ExactPe(bits, spec.mac_cycles(bits, ebt=ebt, act_frac=act_frac))
+
+    return factory
+
+
+for _code, _factory in (
+    ("BP", _make_binary_parallel),
+    ("BS", _make_binary_serial),
+    ("UR", _make_usystolic_rate),
+    ("UT", _make_usystolic_temporal),
+    ("UG", _make_ugemm),
+    ("TU", _make_exact("TU")),
+    ("TB", _make_exact("TB")),
+    ("DP", _make_exact("DP")),
+):
+    bind_hook(_code, "pe_factory", _factory)
+del _code, _factory

@@ -35,6 +35,13 @@ from .figures import line_chart, log_bar_chart
 from .pareto import DesignPoint, design_space, format_pareto, pareto_frontier
 from .report import format_series, format_table, table1
 from .runall import run_all
+from .schemezoo import (
+    SPARSITY_LEVELS,
+    ZooPoint,
+    format_schemezoo,
+    run_schemezoo_experiment,
+    zoo_designs,
+)
 from .serving import (
     ServingPoint,
     format_serving,
@@ -96,6 +103,11 @@ __all__ = [
     "format_scorecard",
     "run_claims",
     "run_all",
+    "SPARSITY_LEVELS",
+    "ZooPoint",
+    "format_schemezoo",
+    "run_schemezoo_experiment",
+    "zoo_designs",
     "ServingPoint",
     "format_serving",
     "run_serving_experiment",

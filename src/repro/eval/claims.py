@@ -194,6 +194,41 @@ def run_claims(include_slow: bool = False) -> list[ClaimResult]:
         max(eei) > 50.0,
     )
 
+    # --- post-uSystolic zoo ---------------------------------------------
+    from ..hw.pe_cost import pe_cost
+    from .schemezoo import run_schemezoo_experiment
+
+    zoo = run_schemezoo_experiment(EDGE, layers=alexnet_layers()[:3])
+    tub = sorted(
+        (p for p in zoo if p.sparsity is not None), key=lambda p: p.sparsity
+    )
+    tub_runtimes = [p.runtime_s for p in tub]
+    check(
+        "zoo (ISVLSI'23)",
+        "tubGEMM runtime falls monotonically as activation sparsity rises",
+        "strictly decreasing",
+        " > ".join(f"{t * 1e3:.0f}ms" for t in tub_runtimes),
+        all(a > b for a, b in zip(tub_runtimes, tub_runtimes[1:])),
+    )
+    by_label = {p.label: p for p in zoo}
+    check(
+        "zoo (DiP)",
+        "diagonal input feed beats the skewed weight-stationary schedule",
+        "no skew/drain bubbles",
+        f"{by_label['DiP'].runtime_s * 1e3:.2f} vs "
+        f"{by_label['Binary Parallel'].runtime_s * 1e3:.2f} ms",
+        by_label["DiP"].runtime_s < by_label["Binary Parallel"].runtime_s,
+    )
+    tu_mul = pe_cost(CS.TUGEMM_TEMPORAL, 8, "leftmost").mul
+    ur_mul = pe_cost(CS.USYSTOLIC_RATE, 8, "leftmost").mul
+    check(
+        "zoo (ISCAS'23)",
+        "tuGEMM's counter MUL is smaller than the Sobol C-BSG MUL",
+        "no RNG area",
+        f"{tu_mul:.0f} vs {ur_mul:.0f} gates",
+        tu_mul < ur_mul,
+    )
+
     # --- footnote 2 ---------------------------------------------------------
     storage = fsu_weight_storage(alexnet_layers())
     check(

@@ -37,6 +37,8 @@ class DesignPoint:
     accuracy: float
     on_chip_energy_j: float
     runtime_s: float
+    act_frac: float | None = None
+    """tubGEMM's activation-magnitude knob (``None`` elsewhere)."""
 
     def dominates(self, other: "DesignPoint") -> bool:
         """Pareto dominance: no worse on both axes, better on one."""
@@ -62,12 +64,14 @@ def design_space(
     ebts: tuple[int, ...] = (4, 5, 6, 7, 8),
     bits: int = 8,
 ) -> list[DesignPoint]:
-    """Measure every (uSystolic EBT, uGEMM-H EBT) design point.
+    """Measure every (uSystolic EBT, uGEMM-H EBT) design point plus the zoo.
 
     Accuracy comes from running the test set under the scheme's arithmetic
     (uGEMM-H shares uSystolic's resolution per Section V-A, so both use
     the uSystolic backend at the same EBT); energy comes from simulating
-    ``hardware_layers`` on the array.
+    ``hardware_layers`` on the array.  The post-uSystolic zoo schemes are
+    *exact* at full resolution, so their accuracy is the fixed-point
+    ceiling; tubGEMM enters at the half-scale activation-magnitude point.
     """
     points = []
     for scheme in (ComputeScheme.USYSTOLIC_RATE, ComputeScheme.UGEMM_RATE):
@@ -87,6 +91,27 @@ def design_space(
                     runtime_s=sum(r.runtime_s for r in results),
                 )
             )
+    exact_accuracy = evaluate(model, x, y, QuantSpec(QuantMode.FXP_I_RES, bits))
+    for scheme, act_frac, label in (
+        (ComputeScheme.TUGEMM_TEMPORAL, None, f"TU@{bits}"),
+        (ComputeScheme.TUBGEMM_TEMPORAL, 0.5, "TB@act50"),
+        (ComputeScheme.DIP_PARALLEL, None, f"DP@{bits}"),
+    ):
+        array = ArrayConfig(
+            rows=rows, cols=cols, scheme=scheme, bits=bits, act_frac=act_frac
+        )
+        results = simulate_network(hardware_layers, array, memory)
+        points.append(
+            DesignPoint(
+                label=label,
+                scheme=scheme,
+                ebt=bits,
+                accuracy=exact_accuracy,
+                on_chip_energy_j=sum(r.energy.on_chip for r in results),
+                runtime_s=sum(r.runtime_s for r in results),
+                act_frac=act_frac,
+            )
+        )
     return points
 
 

@@ -29,6 +29,7 @@ from .bandwidth import format_figure10, run_bandwidth_experiment
 from .efficiency import format_figure14, headline, run_efficiency_experiment
 from .energy import format_figure13, run_energy_experiment
 from .report import format_series, table1
+from .schemezoo import format_schemezoo, run_schemezoo_experiment
 from .serving import format_serving, run_serving_experiment
 from .throughput import format_figure12, run_throughput_experiment
 
@@ -127,6 +128,12 @@ def run_all(
                 run_efficiency_experiment(CLOUD, "mlperf"),
             ]
         ),
+        log=log,
+    )
+    _timed(
+        out,
+        "Scheme zoo: tuGEMM / tubGEMM / DiP",
+        lambda: format_schemezoo(run_schemezoo_experiment(EDGE)),
         log=log,
     )
     _timed(

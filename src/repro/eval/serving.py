@@ -51,6 +51,7 @@ class ServingPoint:
     ebt: int | None
     rate_per_s: float
     summary: dict[str, float]
+    act_frac: float | None = None
 
     @property
     def p99_latency_s(self) -> float:
@@ -61,12 +62,19 @@ class ServingPoint:
         return self.summary["energy_per_request_j"]
 
 
-def serving_designs() -> list[tuple[str, ComputeScheme, int | None]]:
-    """Binary baseline vs the two HUB unary codings."""
+def serving_designs() -> list[tuple[str, ComputeScheme, int | None, float | None]]:
+    """Binary baseline, the two HUB unary codings, and the scheme zoo.
+
+    The trailing element is tubGEMM's activation-magnitude knob
+    (``None`` for every value-independent design).
+    """
     return [
-        ("Binary Parallel", ComputeScheme.BINARY_PARALLEL, None),
-        ("HUB Rate-32c", ComputeScheme.USYSTOLIC_RATE, 6),
-        ("HUB Temporal", ComputeScheme.USYSTOLIC_TEMPORAL, None),
+        ("Binary Parallel", ComputeScheme.BINARY_PARALLEL, None, None),
+        ("HUB Rate-32c", ComputeScheme.USYSTOLIC_RATE, 6, None),
+        ("HUB Temporal", ComputeScheme.USYSTOLIC_TEMPORAL, None, None),
+        ("tuGEMM", ComputeScheme.TUGEMM_TEMPORAL, None, None),
+        ("tubGEMM-act50", ComputeScheme.TUBGEMM_TEMPORAL, None, 0.5),
+        ("DiP", ComputeScheme.DIP_PARALLEL, None, None),
     ]
 
 
@@ -79,6 +87,7 @@ class _ServingTask:
     ebt: int | None
     platform: Platform
     bits: int
+    act_frac: float | None
     rate_per_s: float
     horizon_s: float
     seed: int
@@ -89,7 +98,9 @@ class _ServingTask:
 
 def serve_design(task: _ServingTask) -> ServingPoint:
     """Worker: serve one seeded stream on one design (module-level, picklable)."""
-    array = task.platform.array(task.scheme, bits=task.bits, ebt=task.ebt)
+    array = task.platform.array(
+        task.scheme, bits=task.bits, ebt=task.ebt, act_frac=task.act_frac
+    )
     memory = task.platform.memory_for(task.scheme)
     model = NetworkCostModel(
         name="alexnet",
@@ -123,6 +134,7 @@ def serve_design(task: _ServingTask) -> ServingPoint:
         ebt=task.ebt,
         rate_per_s=task.rate_per_s,
         summary=metrics.summary(),
+        act_frac=task.act_frac,
     )
 
 
@@ -145,6 +157,7 @@ def run_serving_experiment(
             ebt=ebt,
             platform=platform,
             bits=bits,
+            act_frac=act_frac,
             rate_per_s=rate,
             horizon_s=horizon_s,
             seed=seed,
@@ -152,7 +165,7 @@ def run_serving_experiment(
             max_batch=max_batch,
             max_wait_s=max_wait_s,
         )
-        for design, scheme, ebt in serving_designs()
+        for design, scheme, ebt, act_frac in serving_designs()
         for rate in rates
     ]
     return run_tasks(serve_design, tasks, workers=workers)

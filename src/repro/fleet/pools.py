@@ -66,6 +66,7 @@ class PoolConfig:
     platform: str = "edge"
     bits: int = 8
     ebt: int | None = None
+    act_frac: float | None = None
     workload: str = "alexnet"
     instances: int = 1
     min_instances: int = 1
@@ -116,6 +117,17 @@ class PoolConfig:
             f"must be >= 0, got {self.max_wait_s}",
         )
         require(
+            self.act_frac is None
+            or (
+                self.scheme.value_dependent_latency
+                and 0.0 <= self.act_frac <= 1.0
+            ),
+            "PoolConfig",
+            "act_frac",
+            f"needs a value-dependent scheme and a value in [0, 1], got "
+            f"scheme={self.scheme.value} act_frac={self.act_frac}",
+        )
+        require(
             self.power_cap_w is None or self.power_cap_w > 0,
             "PoolConfig",
             "power_cap_w",
@@ -140,9 +152,10 @@ class PoolConfig:
 def pool_presets() -> dict[str, PoolConfig]:
     """The named pools of the capacity-planning space.
 
-    {binary parallel, HUB rate (EBT 6), HUB temporal} on each of the
-    paper's two platforms.  Returned fresh per call so callers can
-    ``dataclasses.replace`` without aliasing surprises.
+    {binary parallel, HUB rate (EBT 6), HUB temporal, tubGEMM at half
+    magnitude, DiP} on each of the paper's two platforms.  Returned
+    fresh per call so callers can ``dataclasses.replace`` without
+    aliasing surprises.
     """
     presets = {}
     for platform in _PLATFORMS:
@@ -162,6 +175,17 @@ def pool_presets() -> dict[str, PoolConfig]:
             scheme=ComputeScheme.USYSTOLIC_TEMPORAL,
             platform=platform,
         )
+        presets[f"tubgemm-{platform}"] = PoolConfig(
+            name=f"tubgemm-{platform}",
+            scheme=ComputeScheme.TUBGEMM_TEMPORAL,
+            platform=platform,
+            act_frac=0.5,
+        )
+        presets[f"dip-{platform}"] = PoolConfig(
+            name=f"dip-{platform}",
+            scheme=ComputeScheme.DIP_PARALLEL,
+            platform=platform,
+        )
     return presets
 
 
@@ -171,7 +195,9 @@ def build_cost_model(
     """The pool's shared batched cost model on its platform."""
     platform = config.platform_preset()
     ebt = config.ebt if config.scheme.supports_early_termination else None
-    array = platform.array(config.scheme, bits=config.bits, ebt=ebt).validate()
+    array = platform.array(
+        config.scheme, bits=config.bits, ebt=ebt, act_frac=config.act_frac
+    ).validate()
     memory = platform.memory_for(config.scheme).validate()
     return NetworkCostModel(
         name=config.workload,

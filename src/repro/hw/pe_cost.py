@@ -14,6 +14,16 @@ uSystolic and uGEMM-H PEs differ between the *leftmost column* (full
 bitstream generation) and *inner columns* (spatial-temporal reuse: a 1-bit
 IDFF and an RREG replace the RNGs and the input comparator), which is where
 the architecture's scalability comes from (Section III-B).
+
+The zoo extends the same block discipline: tuGEMM swaps every Sobol RNG
+for a plain counter, tubGEMM drops the multiplier entirely (the binary
+weight is accumulated once per activation pulse), and DiP keeps the
+binary-parallel PE — its savings live in the dataflow, not the cell.
+
+This module is the ``pe_cost`` hook *provider* of the scheme registry:
+every builder is bound via :func:`repro.schemes.bind_hook` at import
+time, and :func:`pe_cost` dispatches through the registry instead of an
+enum if-chain.
 """
 
 from __future__ import annotations
@@ -22,7 +32,7 @@ import dataclasses
 import types
 from typing import Mapping
 
-from ..schemes import ComputeScheme
+from ..schemes import ComputeScheme, bind_hook, get_scheme
 from . import gates
 
 __all__ = ["PeCost", "pe_cost", "PePosition"]
@@ -176,23 +186,73 @@ def _ug(bits: int, position: str) -> PeCost:
     )
 
 
+def _tu(bits: int, position: str) -> PeCost:
+    # tuGEMM: temporal coding with *counter*-based stream generation on
+    # both operands — the weight-side Sobol of UT goes too, leaving an
+    # entirely RNG-free (and exact) PE.
+    base = _ut(bits, position)
+    if position != PePosition.LEFTMOST:
+        return base
+    mag = bits - 1
+    mul = base.mul - gates.sobol_rng(mag) + gates.counter(mag)
+    return dataclasses.replace(base, mul=mul)
+
+
+def _tub(bits: int, position: str) -> PeCost:
+    # tubGEMM has no multiplier block at all: the activation streams as
+    # |x| temporal pulses and each pulse accumulates the *binary* weight,
+    # so MUL degenerates to the pulse generator (counter + comparator)
+    # and the AND gate; the adder in ACC does the actual multiply-by-
+    # repeated-addition work.
+    mag = bits - 1
+    acc = (
+        gates.adder(bits + 4)
+        + gates.dff(bits + 4)
+        + gates.mux(bits + 4)
+        + gates.xor_gate()
+        + 10.0
+    )
+    if position == PePosition.LEFTMOST:
+        ireg = gates.dff(mag + 2) + gates.twos_complement_converter(bits)
+        mul = gates.counter(mag) + gates.comparator(mag) + gates.and_gate()
+    else:
+        ireg = gates.dff(2)  # IDFF + pipelined ISIGN
+        mul = gates.dff(1) + gates.and_gate()  # pulse relay, no RREG
+    return PeCost(
+        ireg=ireg, wreg=gates.dff(bits), mul=mul, acc=acc, activity=_ACT_UNARY
+    )
+
+
+def _dip(bits: int, position: str) -> PeCost:
+    # DiP keeps the binary-parallel cell; the diagonal-input permuted-
+    # weight dataflow saves cycles (no skew/drain), not PE area.
+    return _bp(bits)
+
+
 def pe_cost(
     scheme: ComputeScheme, bits: int, position: str = PePosition.INNER
 ) -> PeCost:
     """Cost of one PE of ``scheme`` at ``bits`` data bitwidth.
 
     ``position`` only matters for unary schemes; binary PEs are uniform.
+    Dispatch goes through the scheme registry's ``pe_cost`` hook.
     """
     if bits < 2:
         raise ValueError(f"bits must be >= 2, got {bits}")
     if position not in (PePosition.LEFTMOST, PePosition.INNER):
         raise ValueError(f"unknown PE position {position!r}")
-    if scheme is ComputeScheme.BINARY_PARALLEL:
-        return _bp(bits)
-    if scheme is ComputeScheme.BINARY_SERIAL:
-        return _bs(bits)
-    if scheme is ComputeScheme.USYSTOLIC_RATE:
-        return _ur(bits, position)
-    if scheme is ComputeScheme.USYSTOLIC_TEMPORAL:
-        return _ut(bits, position)
-    return _ug(bits, position)
+    return get_scheme(scheme).pe_cost(bits, position)
+
+
+for _code, _builder in (
+    ("BP", lambda bits, position: _bp(bits)),
+    ("BS", lambda bits, position: _bs(bits)),
+    ("UR", _ur),
+    ("UT", _ut),
+    ("UG", _ug),
+    ("TU", _tu),
+    ("TB", _tub),
+    ("DP", _dip),
+):
+    bind_hook(_code, "pe_cost", _builder)
+del _code, _builder

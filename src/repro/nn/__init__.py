@@ -19,6 +19,12 @@ from .layers import (
 from .models import MODEL_BUILDERS, alexnet_mini, mnist4, resnet_mini
 from .pipeline import network_to_gemms
 from .serialize import load_model, save_model
+from .sparsity import (
+    ActivationStats,
+    act_frac_for_sparsity,
+    activation_stats,
+    sparsify,
+)
 from .quant import (
     QuantMode,
     QuantSpec,
@@ -53,6 +59,10 @@ __all__ = [
     "network_to_gemms",
     "load_model",
     "save_model",
+    "ActivationStats",
+    "act_frac_for_sparsity",
+    "activation_stats",
+    "sparsify",
     "alexnet_mini",
     "mnist4",
     "resnet_mini",

@@ -1,0 +1,26 @@
+"""Named error types raised by the scheme registry.
+
+Both subclasses derive from :class:`ValueError` so call sites that
+predate the registry (``except ValueError``) keep working unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SchemeError", "SchemeCapabilityError", "UnknownSchemeError"]
+
+
+class SchemeError(ValueError):
+    """Base class for every scheme-registry error."""
+
+
+class SchemeCapabilityError(SchemeError):
+    """A scheme was asked for a capability it does not declare.
+
+    Examples: early termination on a temporal scheme, a value-dependent
+    latency knob (``act_frac``) on a worst-case scheme, or a hook slot
+    no provider ever bound.
+    """
+
+
+class UnknownSchemeError(SchemeError):
+    """Lookup of a scheme code that was never registered."""

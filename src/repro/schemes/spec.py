@@ -1,0 +1,133 @@
+""":class:`SchemeSpec` — one compute scheme as a pluggable object.
+
+A spec bundles everything the rest of the stack needs to price, schedule
+and emulate a scheme:
+
+- declared capabilities (``is_unary``, ``is_exact``,
+  ``supports_early_termination``, ``power_of_two_stream``,
+  ``value_dependent_latency``) replacing hand-listed enum membership;
+- the MAC latency law (``mul_cycles``), optionally joined by an
+  *expected* law over the activation-magnitude distribution
+  (``expected_mul_cycles``) and a per-operand law (``value_mul_cycles``)
+  for magnitude-dependent schemes like tubGEMM;
+- the dataflow geometry hook (:class:`.geometry.DataflowGeometry`);
+- the traffic hook (``traffic_bits``: stream width per element);
+- the accuracy-emulation hint (``quant``) consumed by ``repro.eval``;
+- provider module paths for the PE cost-model and functional-PE
+  factory hooks.  Providers live *above* this package in the layer
+  graph (``repro.hw``, ``repro.core``), so they register their hooks by
+  calling :func:`.registry.bind_hook` at import time; the registry
+  imports the provider module on first use if that has not happened yet.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+from .errors import SchemeCapabilityError
+from .geometry import DataflowGeometry
+
+__all__ = ["SchemeSpec"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SchemeSpec:
+    """Declarative description + hooks for one registered compute scheme."""
+
+    code: str
+    name: str
+    citation: str
+    is_unary: bool
+    is_exact: bool
+    supports_early_termination: bool
+    power_of_two_stream: bool
+    value_dependent_latency: bool
+    coding: str | None
+    quant: str
+    geometry: DataflowGeometry
+    #: Worst-case multiply cycles ``(bits, ebt) -> int``; MAC adds one.
+    mul_cycles: Callable[[int, int], int]
+    #: Expected multiply cycles ``(bits, ebt, act_frac) -> int`` for
+    #: value-dependent schemes; ``act_frac`` is E[|x|] / 2**(bits-1).
+    expected_mul_cycles: Callable[[int, int, float], int] | None = None
+    #: Per-operand multiply cycles ``(value, bits) -> int``.
+    value_mul_cycles: Callable[[int, int], int] | None = None
+    #: Stream width per element ``(bits) -> int`` for the traffic model.
+    traffic_bits: Callable[[int], int] | None = None
+    pe_cost_provider: str | None = "repro.hw.pe_cost"
+    pe_factory_provider: str | None = "repro.core.pe"
+
+    @property
+    def has_skew(self) -> bool:
+        """True when this scheme's dataflow staggers operands in time."""
+        return self.geometry.has_skew
+
+    def _validated_ebt(self, bits: int, ebt: int | None) -> int:
+        if bits < 2:
+            raise ValueError(f"bits must be >= 2, got {bits}")
+        if ebt is None:
+            ebt = bits
+        if not 2 <= ebt <= bits:
+            raise ValueError(f"ebt must be in [2, {bits}], got {ebt}")
+        if ebt != bits and not self.supports_early_termination:
+            raise SchemeCapabilityError(
+                f"{self.code} does not support early termination"
+            )
+        return ebt
+
+    def mac_cycles(
+        self, bits: int, ebt: int | None = None, act_frac: float | None = None
+    ) -> int:
+        """MAC cycle count of one PE (multiply cycles + 1 accumulation).
+
+        ``ebt`` is the effective bitwidth for early-terminable schemes;
+        ``act_frac`` selects the expected-latency law of value-dependent
+        schemes (tubGEMM), as the mean activation magnitude normalised
+        to ``2**(bits-1)``.
+        """
+        ebt = self._validated_ebt(bits, ebt)
+        if act_frac is None:
+            return self.mul_cycles(bits, ebt) + 1
+        if not self.value_dependent_latency or self.expected_mul_cycles is None:
+            raise SchemeCapabilityError(
+                f"{self.code} has no value-dependent latency law; "
+                "act_frac is only meaningful for schemes like tubGEMM"
+            )
+        if not 0.0 <= act_frac <= 1.0:
+            raise ValueError(f"act_frac must be in [0, 1], got {act_frac}")
+        return self.expected_mul_cycles(bits, ebt, act_frac) + 1
+
+    def value_mac_cycles(self, value: int, bits: int) -> int:
+        """MAC latency for one concrete operand of a value-dependent scheme."""
+        if not self.value_dependent_latency or self.value_mul_cycles is None:
+            raise SchemeCapabilityError(
+                f"{self.code} has no per-operand latency law"
+            )
+        self._validated_ebt(bits, None)
+        limit = 1 << (bits - 1)
+        if not -limit <= value <= limit:
+            raise ValueError(f"value {value} out of range for {bits} bits")
+        return self.value_mul_cycles(value, bits) + 1
+
+    def stream_bits(self, bits: int) -> int:
+        """Traffic-model hook: stored/streamed width of one element."""
+        if self.traffic_bits is None:
+            return bits
+        return self.traffic_bits(bits)
+
+    def pe_cost(self, bits: int, position: Any) -> Any:
+        """Resolve the registered PE cost-model hook (``repro.hw``)."""
+        from . import registry
+
+        return registry.resolve_hook(self.code, "pe_cost")(bits, position)
+
+    def make_pe(
+        self, bits: int, ebt: int | None = None, act_frac: float | None = None
+    ) -> Any:
+        """Resolve the registered functional-PE factory (``repro.core``)."""
+        from . import registry
+
+        return registry.resolve_hook(self.code, "pe_factory")(
+            bits, ebt, act_frac
+        )

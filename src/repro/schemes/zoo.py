@@ -1,0 +1,83 @@
+"""Post-uSystolic schemes registered on top of the paper's five.
+
+- **tuGEMM** (``TU``): temporal-unary GEMM with counter-based stream
+  generators — same ``2**(bits-1)`` temporal stream as UT but *exact*
+  arithmetic and RNG-free PEs (no Sobol sources), trading early
+  termination away for determinism and area.
+- **tubGEMM** (``TB``): temporal-unary-binary multiply.  The activation
+  streams as ``|x|`` temporal pulses while the weight stays binary, so
+  MAC latency scales with operand *magnitude* instead of the worst
+  case.  The expected law takes ``act_frac`` = E[|x|]/2**(bits-1) from
+  the activation distribution (see ``repro.nn.sparsity``):
+  ``mul = round(act_frac * 2**(bits-1))``, monotone in magnitude and
+  collapsing toward one cycle as activations sparsify.
+- **DiP** (``DP``): diagonal-input permuted-weight dataflow.  PEs are
+  binary-parallel, but inputs arrive pre-rotated along the diagonal so
+  the array has neither skew nor drain bubbles:
+  ``preload = rows``, ``drain = 0`` (the :data:`~.geometry.DIAGONAL_INPUT`
+  geometry), strictly fewer cycles than skewed weight-stationary
+  whenever the tile is wider or taller than one PE.
+"""
+
+from __future__ import annotations
+
+from .geometry import DIAGONAL_INPUT, WEIGHT_STATIONARY_SKEWED
+from .spec import SchemeSpec
+
+__all__ = ["TUGEMM_TEMPORAL", "TUBGEMM_TEMPORAL", "DIP_PARALLEL", "ZOO_SPECS"]
+
+
+def _tub_expected_mul(bits: int, ebt: int, act_frac: float) -> int:
+    """Expected pulse count: mean |activation| in native magnitude units."""
+    return int(act_frac * (1 << (bits - 1)) + 0.5)
+
+
+TUGEMM_TEMPORAL = SchemeSpec(
+    code="TU",
+    name="tuGEMM",
+    citation="Anderson, Daleiden and San Miguel, 'tuGEMM: Area-Power-Efficient Temporal Unary GEMM Architecture for Low-Precision Edge AI', ISCAS 2023",
+    is_unary=True,
+    is_exact=True,
+    supports_early_termination=False,
+    power_of_two_stream=True,
+    value_dependent_latency=False,
+    coding="temporal",
+    quant="exact",
+    geometry=WEIGHT_STATIONARY_SKEWED,
+    mul_cycles=lambda bits, ebt: 1 << (bits - 1),
+)
+
+TUBGEMM_TEMPORAL = SchemeSpec(
+    code="TB",
+    name="tubGEMM",
+    citation="Maan, Anderson and San Miguel, 'tubGEMM: Energy-Efficient and Sparsity-Effective Temporal-Unary-Binary Based Matrix Multiply Unit', ISVLSI 2023",
+    is_unary=True,
+    is_exact=True,
+    supports_early_termination=False,
+    power_of_two_stream=False,
+    value_dependent_latency=True,
+    coding="temporal",
+    quant="exact",
+    geometry=WEIGHT_STATIONARY_SKEWED,
+    mul_cycles=lambda bits, ebt: 1 << (bits - 1),
+    expected_mul_cycles=_tub_expected_mul,
+    value_mul_cycles=lambda value, bits: abs(int(value)),
+)
+
+DIP_PARALLEL = SchemeSpec(
+    code="DP",
+    name="DiP Parallel",
+    citation="Abdelmaksoud et al., 'DiP: A Scalable, Energy-Efficient Systolic Array for Matrix Multiplication Acceleration', arXiv:2412.09709, 2024",
+    is_unary=False,
+    is_exact=True,
+    supports_early_termination=False,
+    power_of_two_stream=False,
+    value_dependent_latency=False,
+    coding=None,
+    quant="exact",
+    geometry=DIAGONAL_INPUT,
+    mul_cycles=lambda bits, ebt: 0,
+)
+
+#: The zoo, in registration order (order never reaches job keys).
+ZOO_SPECS = (TUGEMM_TEMPORAL, TUBGEMM_TEMPORAL, DIP_PARALLEL)

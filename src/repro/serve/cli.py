@@ -63,7 +63,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--schemes",
         default="BP,UR,UT",
-        help="comma-separated compute schemes to compare (BP/BS/UG/UR/UT)",
+        help=(
+            "comma-separated compute schemes to compare "
+            "(BP/BS/UG/UR/UT/TU/TB/DP)"
+        ),
     )
     parser.add_argument("--bits", type=int, default=8)
     parser.add_argument(
@@ -71,6 +74,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="effective bitwidth for early-terminable (rate-coded) schemes",
+    )
+    parser.add_argument(
+        "--act-frac",
+        type=float,
+        default=None,
+        help=(
+            "mean activation magnitude fraction for value-dependent "
+            "schemes (tubGEMM's expected-latency knob)"
+        ),
     )
     parser.add_argument(
         "--rate", type=float, required=True, help="mean arrival rate, req/s"
@@ -168,7 +180,12 @@ def serve_one(
     """Run the request stream against one compute scheme's array."""
     platform: Platform = _PLATFORMS[args.platform]
     ebt = args.ebt if scheme.supports_early_termination else None
-    array = platform.array(scheme, bits=args.bits, ebt=ebt).validate()
+    act_frac = (
+        getattr(args, "act_frac", None) if scheme.value_dependent_latency else None
+    )
+    array = platform.array(
+        scheme, bits=args.bits, ebt=ebt, act_frac=act_frac
+    ).validate()
     memory = platform.memory_for(scheme).validate()
     model = NetworkCostModel(
         name=args.workload,

@@ -44,6 +44,7 @@ from ..core.pe import PeModel, make_pe
 from ..gemm.im2col import im2col
 from ..gemm.params import GemmParams
 from ..gemm.tiling import Tile, tile_gemm
+from ..schemes import DataflowGeometry
 from .cyclesim import CycleLimitError
 
 __all__ = ["ArraySimResult", "FoldTrace", "GRANULARITIES", "simulate_array"]
@@ -51,9 +52,11 @@ __all__ = ["ArraySimResult", "FoldTrace", "GRANULARITIES", "simulate_array"]
 #: Step granularities (see module docstring).
 GRANULARITIES = ("cycle", "wave")
 
-#: Per-column launch lag of the IDFF pipeline (Figure 7): PE(r, c) admits
-#: a vector exactly this many cycles after PE(r, c-1).  A mutation seam:
-#: the verify suite plants an off-by-one here and must catch it.
+#: Per-column launch lag multiplier of the IDFF pipeline (Figure 7):
+#: PE(r, c) admits a vector ``geometry.col_lag * _COLUMN_LAG`` cycles
+#: after PE(r, c-1).  A mutation seam: the verify suite plants an
+#: off-by-one here and must catch it (on skewed geometries; DiP's zero
+#: column lag is immune by construction).
 _COLUMN_LAG = 1
 
 #: Default absolute-cycle budget for one layer run.
@@ -126,20 +129,27 @@ def _step_fold_wave(
     mac: int,
     offset: int,
     max_cycles: int,
+    geometry: DataflowGeometry,
 ) -> _FoldRun:
     """Advance one fold a vector-wave (``mac`` cycles) at a time.
 
     Plane state is identical to the cycle stepper at every wave boundary:
-    a wave admits vector ``v`` into every PE (launch skewed by ``r + c``),
-    burns its ``mac`` occupied cycles, and lands the product plane into
-    the column psum ripple (a cumulative sum up the rows — the per-PE
-    psum register contents as the partials pass through).
+    a wave admits vector ``v`` into every PE (launch skewed by the
+    geometry's row/column lags), burns its ``mac`` occupied cycles, and
+    lands the product plane into the column psum ripple (a cumulative sum
+    up the rows — the per-PE psum register contents as the partials pass
+    through).
     """
     nvec, rows, cols = counts.shape
-    preload = rows + cols - 1
+    preload = geometry.preload_cycles(rows, cols)
     rplane = np.arange(rows, dtype=np.int64)[:, None]
     cplane = np.arange(cols, dtype=np.int64)[None, :]
-    launch0 = offset + preload + rplane + _COLUMN_LAG * cplane
+    launch0 = (
+        offset
+        + preload
+        + geometry.row_lag * rplane
+        + geometry.col_lag * _COLUMN_LAG * cplane
+    )
     working = np.full((rows, cols), -1, dtype=np.int64)
     remaining = np.zeros((rows, cols), dtype=np.int64)
     psum_cols = np.zeros((nvec, cols), dtype=counts.dtype)
@@ -180,6 +190,7 @@ def _step_fold_cycle(
     mac: int,
     offset: int,
     max_cycles: int,
+    geometry: DataflowGeometry,
 ) -> _FoldRun:
     """Advance one fold one clock cycle at a time (register semantics).
 
@@ -189,10 +200,12 @@ def _step_fold_cycle(
     column psum — all as whole-plane numpy operations.
     """
     nvec, rows, cols = counts.shape
-    preload = rows + cols - 1
+    preload = geometry.preload_cycles(rows, cols)
     skew = (
-        np.arange(rows, dtype=np.int64)[:, None]
-        + _COLUMN_LAG * np.arange(cols, dtype=np.int64)[None, :]
+        geometry.row_lag * np.arange(rows, dtype=np.int64)[:, None]
+        + geometry.col_lag
+        * _COLUMN_LAG
+        * np.arange(cols, dtype=np.int64)[None, :]
     )
     working = np.full((rows, cols), -1, dtype=np.int64)
     remaining = np.zeros((rows, cols), dtype=np.int64)
@@ -308,8 +321,11 @@ def simulate_array(
     )
     ifm = _check_operand(ifm, (params.ih, params.iw, params.ic), config.bits)
 
-    pe: PeModel = make_pe(config.scheme, config.bits, config.ebt)
+    pe: PeModel = make_pe(
+        config.scheme, config.bits, config.ebt, act_frac=config.act_frac
+    )
     mac = pe.mac_cycles
+    geometry = config.geometry
     cols_mat = im2col(params, ifm)  # (V, K)
     wmat = weight.reshape(params.oc, params.window).T  # (K, OC)
     tiling = tile_gemm(params, config.rows, config.cols)
@@ -329,7 +345,7 @@ def simulate_array(
                       tile.c_start : tile.c_start + tile.cols]
         x_tile = cols_mat[:, tile.k_start : tile.k_start + tile.rows]
         counts, scale = pe.fold_products(w_tile, x_tile)
-        run = stepper(counts, scale, mac, offset, max_cycles)
+        run = stepper(counts, scale, mac, offset, max_cycles, geometry)
         _accumulate_fold(psums, provenance, tile, k_fold, run.psums)
         folds.append(
             FoldTrace(
@@ -341,7 +357,7 @@ def simulate_array(
                 rows=tile.rows,
                 cols=tile.cols,
                 start_cycle=offset,
-                preload_cycles=tile.rows + tile.cols - 1,
+                preload_cycles=geometry.preload_cycles(tile.rows, tile.cols),
                 first_launch_cycle=int(run.launch0[0, 0]),
                 last_mac_finish=run.last_mac_finish,
             )

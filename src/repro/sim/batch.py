@@ -11,9 +11,12 @@ fold algebra ``repro.verify.oracles.compute_cycles_oracle`` derives
 independently) instead of iterating the ``k_folds * c_folds`` tile list B
 times::
 
-    preloads = cf*K + kf*OC - kf*cf          (edge tiles sum exactly to K/OC)
-    streams  = kf*cf * (B*V) * mac_cycles    (the only B-dependent term)
-    drain    = (K - (kf-1)*rows) + (OC - (cf-1)*cols) - 2
+    preloads = cf*K + col_lag*(kf*OC - kf*cf)   (edge tiles sum to K/OC)
+    streams  = kf*cf * (B*V) * mac_cycles       (the only B-dependent term)
+    drain    = row_lag*(K - (kf-1)*rows - 1) + col_lag*(OC - (cf-1)*cols - 1)
+
+with the skew lags taken from the scheme's dataflow geometry (both 1 for
+the paper's skewed weight-stationary schedule, both 0 for DiP).
 
 At ``batch=1`` the result is pinned equal to
 :func:`repro.sim.dataflow.schedule_layer` by a differential test, and for
@@ -28,6 +31,7 @@ import dataclasses
 import math
 
 from ..gemm.params import GemmParams
+from ..schemes import WEIGHT_STATIONARY_SKEWED, DataflowGeometry
 from .dataflow import LayerSchedule
 
 __all__ = ["batched_schedule", "batched_matmul_params"]
@@ -39,6 +43,7 @@ def batched_schedule(
     cols: int,
     mac_cycles: int,
     batch: int = 1,
+    geometry: DataflowGeometry = WEIGHT_STATIONARY_SKEWED,
 ) -> LayerSchedule:
     """Closed-form weight-stationary schedule of ``batch`` folded requests.
 
@@ -57,9 +62,11 @@ def batched_schedule(
     vectors = batch * params.oh * params.ow
     kf = math.ceil(k / rows)
     cf = math.ceil(oc / cols)
-    preload_cycles = cf * k + kf * oc - kf * cf
+    preload_cycles = cf * k + geometry.col_lag * (kf * oc - kf * cf)
     stream_cycles = kf * cf * vectors * mac_cycles
-    drain_cycles = (k - (kf - 1) * rows) + (oc - (cf - 1) * cols) - 2
+    drain_cycles = geometry.drain_cycles(
+        k - (kf - 1) * rows, oc - (cf - 1) * cols
+    )
     return LayerSchedule(
         compute_cycles=preload_cycles + stream_cycles + drain_cycles,
         active_pe_mac_cycles=k * oc * vectors * mac_cycles,

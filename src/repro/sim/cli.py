@@ -56,11 +56,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--scheme",
         choices=sorted(_SCHEMES),
         default="UR",
-        help="compute scheme (BP/BS/UG/UR/UT)",
+        help="compute scheme code (any registered scheme, e.g. BP/UR/UT/TU/TB/DP)",
     )
     parser.add_argument("--bits", type=int, default=8)
     parser.add_argument(
         "--ebt", type=int, default=None, help="effective bitwidth (early termination)"
+    )
+    parser.add_argument(
+        "--act-frac",
+        type=float,
+        default=None,
+        help="mean activation magnitude fraction for value-dependent schemes "
+        "(tubGEMM's expected-latency knob)",
     )
     parser.add_argument(
         "--no-sram",
@@ -136,6 +143,7 @@ def main(argv: list[str] | None = None) -> int:
             scheme=scheme,
             bits=args.bits,
             ebt=args.ebt,
+            act_frac=args.act_frac,
         ).validate()
         memory = platform.memory_for(scheme)
         if args.no_sram:

@@ -63,12 +63,15 @@ def simulate_fold(
     scheme: ComputeScheme,
     bits: int = 8,
     ebt: int | None = None,
+    act_frac: float | None = None,
     max_cycles: int = 5_000_000,
 ) -> CycleAccurateResult:
     """Step one (R x C) fold through the array cycle by cycle.
 
     ``weights`` is (R, C) signed ints; ``vectors`` is (V, R) signed ints
-    (the im2col rows restricted to this fold).
+    (the im2col rows restricted to this fold).  Skew lags and preload come
+    from the scheme's registered dataflow geometry (one cycle per hop for
+    the paper's schemes, zero for DiP).
     """
     weights = np.asarray(weights, dtype=np.int64)
     vectors = np.asarray(vectors, dtype=np.int64)
@@ -78,12 +81,13 @@ def simulate_fold(
         )
     rows, cols = weights.shape
     nvec = vectors.shape[0]
-    pe: PeModel = make_pe(scheme, bits, ebt)
+    pe: PeModel = make_pe(scheme, bits, ebt, act_frac=act_frac)
     mac = pe.mac_cycles
+    geom = scheme.geometry
 
     # --- phase 1: weight preload (one row enters per cycle, pipelined
-    # down; column c of a row arrives c cycles later).
-    preload = rows + cols - 1
+    # down; with column skew, column c of a row arrives col_lag*c later).
+    preload = geom.preload_cycles(rows, cols)
 
     # --- phase 2+3: streaming and drain, stepped cycle by cycle --------
     # PE state: which vector it is working on and cycles remaining.
@@ -103,18 +107,19 @@ def simulate_fold(
         if cycle - preload > max_cycles:
             raise CycleLimitError(cycle, total_macs - done_macs, max_cycles)
         t = cycle - preload
-        # Launch: element (v, r) enters PE(r, 0) at t = v*mac + r, and
-        # PE(r, c) one cycle per column later (the IDFF lag).
+        # Launch: element (v, r) enters PE(r, 0) at t = v*mac + row_lag*r,
+        # and PE(r, c) col_lag cycles per column later (the IDFF lag).
         for r in range(rows):
             for c in range(cols):
                 start = 0 if nvec == 0 else None
                 v, rem = working[r, c], remaining[r, c]
                 if rem == 0:
-                    vnext = (t - r - c) // mac
+                    skew = geom.skew_offset(r, c)
+                    vnext = (t - skew) // mac
                     if (
                         0 <= vnext < nvec
-                        and (t - r - c) % mac == 0
-                        and (t - r - c) >= 0
+                        and (t - skew) % mac == 0
+                        and (t - skew) >= 0
                     ):
                         if v >= vnext:
                             raise RuntimeError("PE re-entered an old vector")
@@ -136,9 +141,10 @@ def simulate_fold(
                             last_finish = max(last_finish, cycle + 1)
         cycle += 1
 
-    # --- drain: the last column sum ripples up ``rows - 1`` hops and the
-    # skew empties; completion is the last finish plus the pipeline tail.
-    total = last_finish + (rows - 1)
+    # --- drain: the last column sum ripples up ``row_lag*(rows-1)`` hops
+    # and the skew empties; completion is the last finish plus that tail
+    # (zero for skew-free geometries like DiP).
+    total = last_finish + geom.ripple_tail(rows)
     return CycleAccurateResult(
         psums=psums,
         total_cycles=total,

@@ -13,6 +13,12 @@ SCALE-Sim schedule the paper inherits (Section II-A, III-D):
 
 uSystolic keeps the *order* identical to the binary array; only the
 per-vector interval stretches by the MAC cycle count.
+
+The skew terms come from a :class:`~repro.schemes.DataflowGeometry`: the
+default (``row_lag = col_lag = 1``) reproduces the paper's skewed
+weight-stationary numbers above, while DiP's diagonal-input geometry
+(both lags zero) drops the ``cols - 1`` preload stagger and the whole
+drain.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from __future__ import annotations
 import dataclasses
 
 from ..gemm.tiling import Tile, Tiling
+from ..schemes import WEIGHT_STATIONARY_SKEWED, DataflowGeometry
 
 __all__ = ["TileSchedule", "LayerSchedule", "schedule_tile", "schedule_layer"]
 
@@ -49,19 +56,23 @@ class LayerSchedule:
     mac_cycles: int
 
 
-def schedule_tile(tile: Tile, mac_cycles: int) -> TileSchedule:
+def schedule_tile(
+    tile: Tile,
+    mac_cycles: int,
+    geometry: DataflowGeometry = WEIGHT_STATIONARY_SKEWED,
+) -> TileSchedule:
     """Contention-free cycle count of one fold with ``mac_cycles`` MACs.
 
     The drain of a fold overlaps the next fold's weight preload (new
     weights push the last partial sums out as they pipeline down), so the
     per-fold cost is preload + streaming; ``drain_cycles`` is only paid by
-    the last fold of a layer.
+    the last fold of a layer.  ``geometry`` supplies the skew lags.
     """
     if mac_cycles < 1:
         raise ValueError(f"mac_cycles must be >= 1, got {mac_cycles}")
-    preload = tile.rows + tile.cols - 1
+    preload = geometry.preload_cycles(tile.rows, tile.cols)
     stream = tile.vectors * mac_cycles
-    drain = tile.rows + tile.cols - 2
+    drain = geometry.drain_cycles(tile.rows, tile.cols)
     active = tile.rows * tile.cols * tile.vectors * mac_cycles
     return TileSchedule(
         preload_cycles=preload,
@@ -71,13 +82,17 @@ def schedule_tile(tile: Tile, mac_cycles: int) -> TileSchedule:
     )
 
 
-def schedule_layer(tiling: Tiling, mac_cycles: int) -> LayerSchedule:
+def schedule_layer(
+    tiling: Tiling,
+    mac_cycles: int,
+    geometry: DataflowGeometry = WEIGHT_STATIONARY_SKEWED,
+) -> LayerSchedule:
     """Sum the fold schedules of a whole GEMM (drains overlap preloads)."""
     compute = 0
     active = 0
     last_drain = 0
     for tile in tiling:
-        ts = schedule_tile(tile, mac_cycles)
+        ts = schedule_tile(tile, mac_cycles, geometry)
         compute += ts.preload_cycles + ts.stream_cycles
         last_drain = ts.drain_cycles
         active += ts.active_pe_mac_cycles

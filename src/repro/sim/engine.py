@@ -56,8 +56,10 @@ def simulate_layer(
     array.validate()
     memory.validate()
     tiling = tile_gemm(params, array.rows, array.cols)
-    sched = schedule_layer(tiling, array.mac_cycles)
-    traffic = profile_traffic(params, tiling, array.bits, memory)
+    sched = schedule_layer(tiling, array.mac_cycles, array.geometry)
+    traffic = profile_traffic(
+        params, tiling, array.scheme.spec.stream_bits(array.bits), memory
+    )
     return _finalize(
         params, array, memory, tech, sched, traffic,
         macs=params.macs, utilization=tiling.utilization,
@@ -89,10 +91,20 @@ def simulate_layer_batched(
     memory.validate()
     tiling = tile_gemm(params, array.rows, array.cols)
     sched = batched_schedule(
-        params, array.rows, array.cols, array.mac_cycles, batch=batch
+        params,
+        array.rows,
+        array.cols,
+        array.mac_cycles,
+        batch=batch,
+        geometry=array.geometry,
     )
     traffic = profile_traffic_batched(
-        params, tiling, array.bits, memory, batch=batch, warm_weights=warm_weights
+        params,
+        tiling,
+        array.scheme.spec.stream_bits(array.bits),
+        memory,
+        batch=batch,
+        warm_weights=warm_weights,
     )
     return _finalize(
         params, array, memory, tech, sched, traffic,

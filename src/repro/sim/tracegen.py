@@ -51,9 +51,10 @@ def generate_trace(
     events: list[TraceEvent] = []
     cycle = 0
     w_addr = 0
+    geometry = config.geometry
     for tile in tiling:
         k_fold_index = tile.k_start // config.rows
-        preload = tile.rows + tile.cols - 1
+        preload = geometry.preload_cycles(tile.rows, tile.cols)
         w_bytes = tile.rows * tile.cols * elem
         events.append(
             TraceEvent(cycle, "weight", "read", w_addr, w_bytes)

@@ -64,8 +64,9 @@ KINDS = ("kernel", "engine", "functional", "array")
 
 _SCHEMES = {s.value: s for s in ComputeScheme}
 
-#: Schemes the functional array diff supports (BS shares BP's exact path).
-_FUNCTIONAL_SCHEMES = ("BP", "UR", "UT")
+#: Schemes the functional array diff supports (BS shares BP's exact path;
+#: the exact zoo members TU/TB/DP diff against the convolution oracle).
+_FUNCTIONAL_SCHEMES = ("BP", "UR", "UT", "TU", "TB", "DP")
 
 #: Cap on reported per-element functional mismatches (the report stays
 #: readable; the mismatch *count* is still exact via ``checks``).
@@ -102,6 +103,8 @@ class VerifyCase:
     scheme: str = "UR"
     sram_kib: int | None = None
     seed: int = 0
+    act_pct: int | None = None
+    """Activation magnitude as a percent (tubGEMM's expected-latency knob)."""
 
     # ------------------------------------------------------------------
     def validated(self) -> "VerifyCase":
@@ -132,6 +135,13 @@ class VerifyCase:
         if self.ebt is not None and not _SCHEMES[self.scheme].supports_early_termination:
             if self.kind != "kernel":
                 raise ValueError(f"{self.scheme} does not support early termination")
+        if self.act_pct is not None:
+            if not _SCHEMES[self.scheme].value_dependent_latency:
+                raise ValueError(
+                    f"{self.scheme} has no value-dependent latency (act_pct)"
+                )
+            if not 0 <= self.act_pct <= 100:
+                raise ValueError(f"act_pct must be in [0, 100], got {self.act_pct}")
         if self.sram_kib is not None and self.sram_kib < 1:
             raise ValueError("sram_kib must be positive or null")
         if self.kind != "kernel":
@@ -164,6 +174,7 @@ class VerifyCase:
             scheme=_SCHEMES[self.scheme],
             bits=self.bits,
             ebt=self.ebt,
+            act_frac=None if self.act_pct is None else self.act_pct / 100,
         )
 
     def memory_config(self) -> MemoryConfig:
@@ -301,15 +312,19 @@ def _diff_engine(case: VerifyCase, out: _Collector) -> None:
     array = case.array_config()
     memory = case.memory_config()
 
-    latency = mac_latency_oracle(array.scheme, case.bits, case.ebt)
+    latency = mac_latency_oracle(
+        array.scheme, case.bits, case.ebt, act_frac=array.act_frac
+    )
     out.compare("engine.mac_cycles", latency, array.mac_cycles)
 
     tiling = tile_gemm(params, array.rows, array.cols)
-    cycles = compute_cycles_oracle(params, array.rows, array.cols, latency)
+    cycles = compute_cycles_oracle(
+        params, array.rows, array.cols, latency, skewed=array.scheme.has_skew
+    )
     out.compare(
         "engine.schedule_cycles",
         cycles,
-        schedule_layer(tiling, array.mac_cycles).compute_cycles,
+        schedule_layer(tiling, array.mac_cycles, array.geometry).compute_cycles,
     )
     result = simulate_layer(params, array, memory)
     out.compare("engine.compute_cycles", cycles, result.compute_cycles)
@@ -352,14 +367,14 @@ def _diff_functional(case: VerifyCase, out: _Collector) -> None:
         0.0,
         float(np.abs(cols_mat - _im2col_impl(params, ifm)).max(initial=0)),
     )
-    if array.scheme is ComputeScheme.BINARY_PARALLEL:
+    if array.scheme.is_exact:
         expected = conv_oracle(params, weight, ifm)
     else:
         # Independent scalar path: per-element HubMac products folded with
         # exact binary accumulation (the HUB fold-invariance guarantee).
         mac = HubMac(case.bits, ebt=case.ebt, coding=(
             Coding.RATE
-            if array.scheme is ComputeScheme.USYSTOLIC_RATE
+            if array.scheme.spec.coding == "rate"
             else Coding.TEMPORAL
         ))
         scale = 1 << (case.bits - 1)
@@ -433,10 +448,14 @@ def _diff_array(case: VerifyCase, out: _Collector) -> None:
     )
     ifm = rng.integers(-limit + 1, limit, size=(params.ih, params.iw, params.ic))
 
-    latency = mac_latency_oracle(array.scheme, case.bits, case.ebt)
+    latency = mac_latency_oracle(
+        array.scheme, case.bits, case.ebt, act_frac=array.act_frac
+    )
     tiling = tile_gemm(params, array.rows, array.cols)
-    sched = schedule_layer(tiling, array.mac_cycles)
-    cycles = compute_cycles_oracle(params, array.rows, array.cols, latency)
+    sched = schedule_layer(tiling, array.mac_cycles, array.geometry)
+    cycles = compute_cycles_oracle(
+        params, array.rows, array.cols, latency, skewed=array.scheme.has_skew
+    )
     # Resolved through the module so mutation tests diff what runs.
     stepped = arraysim.simulate_array(
         params, array, weight, ifm, granularity="wave", collect_planes=True
@@ -451,7 +470,7 @@ def _diff_array(case: VerifyCase, out: _Collector) -> None:
     vectors = params.oh * params.ow
     offset = 0
     for fold, tile in zip(stepped.folds, tiling):
-        ts = schedule_tile(tile, array.mac_cycles)
+        ts = schedule_tile(tile, array.mac_cycles, array.geometry)
         tag = f"array.fold[{fold.index}]"
         out.compare(f"{tag}.start_cycle", offset, fold.start_cycle)
         out.compare(f"{tag}.preload_cycles", ts.preload_cycles, fold.preload_cycles)
@@ -465,10 +484,15 @@ def _diff_array(case: VerifyCase, out: _Collector) -> None:
             offset + ts.total_cycles,
             fold.last_mac_finish,
         )
-        skew = (
-            np.arange(tile.rows, dtype=np.int64)[:, None]
-            + np.arange(tile.cols, dtype=np.int64)[None, :]
-        )
+        # The launch stagger, written out independently of the geometry
+        # object: one cycle per hop for skewed schemes, flat for DiP.
+        if array.scheme.has_skew:
+            skew = (
+                np.arange(tile.rows, dtype=np.int64)[:, None]
+                + np.arange(tile.cols, dtype=np.int64)[None, :]
+            )
+        else:
+            skew = np.zeros((tile.rows, tile.cols), dtype=np.int64)
         _compare_plane(
             out,
             lambda pe, f=fold.index: f"array.launch[fold={f},pe={pe}]",
@@ -506,7 +530,7 @@ def _diff_array(case: VerifyCase, out: _Collector) -> None:
     _compare_plane(
         out, lambda vc: f"array.psum[v={vc[0]},oc={vc[1]}]", ref, stepped.psums
     )
-    if array.scheme is ComputeScheme.BINARY_PARALLEL:
+    if array.scheme.is_exact:
         exact = conv_oracle(params, weight, ifm).reshape(-1, params.oc)
         _compare_plane(
             out, lambda vc: f"array.conv[v={vc[0]},oc={vc[1]}]", exact, stepped.psums
@@ -585,7 +609,16 @@ def default_cases() -> list[VerifyCase]:
         VerifyCase(kind="kernel", bits=6, coding="temporal", ifm=-21, weights=(31, -30, 7)),
         VerifyCase(kind="kernel", bits=2, ifm=1, weights=(-1, 1)),
     ]
-    for scheme, ebt in (("BP", None), ("BS", None), ("UR", 6), ("UT", None), ("UG", None)):
+    for scheme, ebt in (
+        ("BP", None),
+        ("BS", None),
+        ("UR", 6),
+        ("UT", None),
+        ("UG", None),
+        ("TU", None),
+        ("TB", None),
+        ("DP", None),
+    ):
         for sram_kib in (None, 64):
             cases.append(
                 VerifyCase(
@@ -608,6 +641,13 @@ def default_cases() -> list[VerifyCase]:
         VerifyCase(kind="engine", scheme="UR", bits=8, ebt=4, ih=7, iw=9, ic=2,
                    wh=2, ww=3, oc=5, stride=2, rows=3, cols=2, sram_kib=1)
     )
+    # tubGEMM's expected-latency knob: three magnitudes, the cycle oracle
+    # must track each one independently.
+    for act_pct in (0, 25, 50):
+        cases.append(
+            VerifyCase(kind="engine", scheme="TB", bits=8, act_pct=act_pct,
+                       ih=8, iw=8, ic=4, wh=3, ww=3, oc=10, rows=4, cols=3)
+        )
     cases.extend(
         [
             VerifyCase(kind="functional", scheme="BP", bits=8, ih=5, iw=5, ic=2,
@@ -616,6 +656,12 @@ def default_cases() -> list[VerifyCase]:
                        ic=1, wh=2, ww=2, oc=2, rows=2, cols=2, seed=11),
             VerifyCase(kind="functional", scheme="UT", bits=4, ih=3, iw=3, ic=1,
                        wh=2, ww=2, oc=2, rows=3, cols=2, seed=3),
+            VerifyCase(kind="functional", scheme="TU", bits=6, ih=4, iw=4, ic=1,
+                       wh=2, ww=2, oc=2, rows=2, cols=2, seed=19),
+            VerifyCase(kind="functional", scheme="TB", bits=6, act_pct=50, ih=4,
+                       iw=4, ic=1, wh=2, ww=2, oc=2, rows=2, cols=2, seed=23),
+            VerifyCase(kind="functional", scheme="DP", bits=8, ih=5, iw=5, ic=2,
+                       wh=2, ww=2, oc=3, rows=4, cols=3, seed=29),
         ]
     )
     cases.extend(
@@ -632,6 +678,14 @@ def default_cases() -> list[VerifyCase]:
                        wh=2, ww=2, oc=2, rows=2, cols=2, seed=4),
             VerifyCase(kind="array", scheme="UG", bits=4, ih=4, iw=4, ic=1,
                        wh=2, ww=2, oc=3, rows=2, cols=2, seed=3),
+            VerifyCase(kind="array", scheme="TU", bits=4, ih=4, iw=4, ic=1,
+                       wh=2, ww=2, oc=3, rows=2, cols=2, seed=31),
+            VerifyCase(kind="array", scheme="TB", bits=5, act_pct=25, ih=4,
+                       iw=4, ic=1, wh=2, ww=2, oc=2, rows=2, cols=2, seed=37),
+            # DiP's skew-free schedule, proved by the stepped co-simulator:
+            # flat launch planes, zero drain, per-cycle granularity held.
+            VerifyCase(kind="array", scheme="DP", bits=8, ih=6, iw=6, ic=2,
+                       wh=3, ww=3, oc=5, rows=4, cols=3, seed=41),
         ]
     )
     return [case.validated() for case in cases]

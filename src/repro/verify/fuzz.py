@@ -94,14 +94,20 @@ def _draw_gemm(rng: np.random.Generator, small: bool) -> dict[str, int]:
 
 
 def _draw_engine(rng: np.random.Generator) -> VerifyCase:
-    scheme = str(rng.choice(["BP", "BS", "UR", "UT", "UG"]))
-    bits = int(rng.choice([4, 8, 16])) if scheme in ("BP", "BS") else 8
+    scheme = str(rng.choice(["BP", "BS", "UR", "UT", "UG", "TU", "TB", "DP"]))
+    bits = int(rng.choice([4, 8, 16])) if scheme in ("BP", "BS", "DP") else 8
     ebt = int(rng.integers(2, bits + 1)) if scheme == "UR" and rng.random() < 0.7 else None
+    act_pct = (
+        int(rng.integers(0, 101))
+        if scheme == "TB" and rng.random() < 0.7
+        else None
+    )
     return VerifyCase(
         kind="engine",
         bits=bits,
         ebt=ebt,
         scheme=scheme,
+        act_pct=act_pct,
         rows=int(rng.integers(1, 9)),
         cols=int(rng.integers(1, 9)),
         sram_kib=None if rng.random() < 0.5 else int(rng.choice([1, 8, 64, 512])),
@@ -110,19 +116,25 @@ def _draw_engine(rng: np.random.Generator) -> VerifyCase:
 
 
 def _draw_functional(rng: np.random.Generator) -> VerifyCase:
-    scheme = str(rng.choice(["BP", "UR", "UT"]))
-    if scheme == "BP":
+    scheme = str(rng.choice(["BP", "UR", "UT", "TU", "TB", "DP"]))
+    if scheme in ("BP", "DP"):
         bits, ebt = 8, None
     elif scheme == "UR":
         bits = int(rng.integers(3, 6))
         ebt = None if rng.random() < 0.5 else int(rng.integers(2, bits + 1))
     else:
         bits, ebt = int(rng.integers(3, 5)), None
+    act_pct = (
+        int(rng.integers(0, 101))
+        if scheme == "TB" and rng.random() < 0.5
+        else None
+    )
     return VerifyCase(
         kind="functional",
         bits=bits,
         ebt=ebt,
         scheme=scheme,
+        act_pct=act_pct,
         rows=int(rng.integers(1, 5)),
         cols=int(rng.integers(1, 5)),
         seed=int(rng.integers(0, 2**31)),
@@ -131,19 +143,25 @@ def _draw_functional(rng: np.random.Generator) -> VerifyCase:
 
 
 def _draw_array(rng: np.random.Generator) -> VerifyCase:
-    scheme = str(rng.choice(["BP", "UR", "UT"]))
-    if scheme == "BP":
+    scheme = str(rng.choice(["BP", "UR", "UT", "TU", "TB", "DP"]))
+    if scheme in ("BP", "DP"):
         bits, ebt = 8, None
     elif scheme == "UR":
         bits = int(rng.integers(3, 6))
         ebt = None if rng.random() < 0.5 else int(rng.integers(2, bits + 1))
     else:
         bits, ebt = int(rng.integers(3, 5)), None
+    act_pct = (
+        int(rng.integers(0, 101))
+        if scheme == "TB" and rng.random() < 0.5
+        else None
+    )
     return VerifyCase(
         kind="array",
         bits=bits,
         ebt=ebt,
         scheme=scheme,
+        act_pct=act_pct,
         rows=int(rng.integers(1, 6)),
         cols=int(rng.integers(1, 6)),
         seed=int(rng.integers(0, 2**31)),

@@ -97,30 +97,53 @@ def conv_oracle(
 # ----------------------------------------------------------------------
 # timing oracles (closed form, Section III)
 # ----------------------------------------------------------------------
-def mac_latency_oracle(scheme: ComputeScheme, bits: int, ebt: int | None = None) -> int:
+def mac_latency_oracle(
+    scheme: ComputeScheme,
+    bits: int,
+    ebt: int | None = None,
+    act_frac: float | None = None,
+) -> int:
     """Closed-form PE MAC latency per scheme, written out independently.
 
     The crawl latency of Section III-A/C: a rate-coded uSystolic MAC
     takes ``2**(n-1) + 1`` cycles at effective bitwidth n (the +1 is the
     binary fold of the partial sum), uGEMM's bipolar streams double the
     length, temporal coding always runs the full ``2**(N-1)`` stream.
+    The zoo: tuGEMM's counters run the same full temporal stream, DiP
+    keeps the single-cycle binary MAC, and tubGEMM streams the expected
+    activation magnitude (``act_frac`` of full scale, rounded half-up).
     """
     if bits < 2:
         raise ValueError(f"bits must be >= 2, got {bits}")
     n = bits if ebt is None else ebt
     if not 2 <= n <= bits:
         raise ValueError(f"ebt must be in [2, {bits}], got {n}")
+    # The oracle must re-derive latency without the registry's law, so
+    # this one identity branch is a deliberate SCHEME001 exception.
+    if (
+        scheme is ComputeScheme.TUBGEMM_TEMPORAL  # repro-lint: ignore[scheme]
+        and act_frac is not None
+    ):
+        # Independent rounding path (floor of x + 1/2, not banker's).
+        return math.floor(act_frac * 2 ** (bits - 1) + 0.5) + 1
     return {
         ComputeScheme.BINARY_PARALLEL: 1,
         ComputeScheme.BINARY_SERIAL: bits + 1,
         ComputeScheme.USYSTOLIC_RATE: 2 ** (n - 1) + 1,
         ComputeScheme.USYSTOLIC_TEMPORAL: 2 ** (bits - 1) + 1,
         ComputeScheme.UGEMM_RATE: 2**n + 1,
+        ComputeScheme.TUGEMM_TEMPORAL: 2 ** (bits - 1) + 1,
+        ComputeScheme.TUBGEMM_TEMPORAL: 2 ** (bits - 1) + 1,
+        ComputeScheme.DIP_PARALLEL: 1,
     }[scheme]
 
 
 def compute_cycles_oracle(
-    params: GemmParams, rows: int, cols: int, mac_cycles: int
+    params: GemmParams,
+    rows: int,
+    cols: int,
+    mac_cycles: int,
+    skewed: bool = True,
 ) -> int:
     """Analytical contention-free layer cycles (no fold iteration).
 
@@ -134,6 +157,11 @@ def compute_cycles_oracle(
         last drain   = (K - (kf-1)*rows) + (OC - (cf-1)*cols) - 2
 
     which must equal :func:`repro.sim.dataflow.schedule_layer` exactly.
+    ``skewed=False`` is the diagonal-input (DiP) variant: no column
+    stagger in the preloads and no drain at all::
+
+        sum preloads = cf*K
+        last drain   = 0
     """
     if rows < 1 or cols < 1 or mac_cycles < 1:
         raise ValueError("rows, cols and mac_cycles must be positive")
@@ -142,8 +170,10 @@ def compute_cycles_oracle(
     v = params.oh * params.ow
     kf = math.ceil(k / rows)
     cf = math.ceil(oc / cols)
-    preloads = cf * k + kf * oc - kf * cf
     streams = kf * cf * v * mac_cycles
+    if not skewed:
+        return cf * k + streams
+    preloads = cf * k + kf * oc - kf * cf
     last_drain = (k - (kf - 1) * rows) + (oc - (cf - 1) * cols) - 2
     return preloads + streams + last_drain
 

@@ -32,10 +32,16 @@ class Platform:
         scheme: ComputeScheme,
         bits: int = 8,
         ebt: int | None = None,
+        act_frac: float | None = None,
     ) -> ArrayConfig:
         """An :class:`ArrayConfig` of this platform's shape."""
         return ArrayConfig(
-            rows=self.rows, cols=self.cols, scheme=scheme, bits=bits, ebt=ebt
+            rows=self.rows,
+            cols=self.cols,
+            scheme=scheme,
+            bits=bits,
+            ebt=ebt,
+            act_frac=act_frac,
         )
 
     def memory_for(self, scheme: ComputeScheme) -> MemoryConfig:

@@ -1,0 +1,34 @@
+"""Fixture: known scheme-identity violations (never imported).
+
+Line numbers are asserted by ``tests/analysis/test_checkers.py``.
+"""
+
+from repro.schemes import ComputeScheme
+from repro.schemes import ComputeScheme as CS
+
+__all__ = ["identity_branch", "membership_branch", "capability_ok"]
+
+
+def identity_branch(scheme) -> int:
+    """SCHEME001 on lines 14 and 16."""
+    if scheme is ComputeScheme.BINARY_PARALLEL:  # line 14
+        return 0
+    if scheme == CS.USYSTOLIC_TEMPORAL:  # line 16
+        return 1
+    return 2
+
+
+def membership_branch(scheme) -> bool:
+    """SCHEME001 on line 23."""
+    return scheme in (CS.UGEMM_RATE, CS.USYSTOLIC_RATE)  # line 23
+
+
+def capability_ok(scheme) -> str:
+    """Capability dispatch and member-keyed tables stay clean."""
+    table = {
+        ComputeScheme.BINARY_PARALLEL: "binary",
+        ComputeScheme.USYSTOLIC_RATE: "rate",
+    }
+    if scheme.is_unary:
+        return table.get(scheme, "unary")
+    return "exact"

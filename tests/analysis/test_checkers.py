@@ -142,6 +142,38 @@ class TestVerificationFixture:
         assert findings == []
 
 
+class TestSchemeFixture:
+    def test_expected_findings(self):
+        assert _findings("scheme_violations.py", select=["scheme"]) == [
+            ("SCHEME001", 14),
+            ("SCHEME001", 16),
+            ("SCHEME001", 23),
+        ]
+
+    def test_member_keyed_table_is_clean(self):
+        lines = [
+            line
+            for _, line in _findings("scheme_violations.py", select=["scheme"])
+        ]
+        # capability_ok's dict literal and .is_unary dispatch add nothing.
+        assert all(line < 26 for line in lines)
+
+    def test_registry_package_is_sanctioned(self):
+        from repro.analysis.scheme_checks import SchemeChecker
+
+        text = (
+            "from repro.schemes import ComputeScheme\n"
+            "def f(s):\n"
+            "    return s is ComputeScheme.BINARY_PARALLEL\n"
+        )
+        sanctioned = SourceFile.parse("src/repro/schemes/fake.py", text=text)
+        assert list(SchemeChecker().check(sanctioned)) == []
+        elsewhere = SourceFile.parse("src/repro/sim/fake.py", text=text)
+        assert [f.code for f in SchemeChecker().check(elsewhere)] == [
+            "SCHEME001"
+        ]
+
+
 class TestSelect:
     def test_select_by_code(self):
         assert _findings("unit_violations.py", select=["UNIT003"]) == [
@@ -156,10 +188,10 @@ class TestSelect:
 
     def test_whole_fixture_dir(self):
         findings, files_scanned = run_analysis([FIXTURES])
-        assert files_scanned == 26  # flat fixtures + graph/cycle/sup trees
+        assert files_scanned == 27  # flat fixtures + graph/cycle/sup trees
         groups = {f.group for f in findings}
         assert groups == {
-            "unit", "det", "cfg", "exp", "ver",
+            "unit", "det", "cfg", "exp", "ver", "scheme",
             "arch", "flow", "dead", "perf", "conc", "sup",
             "shape", "bound",
         }

@@ -82,16 +82,33 @@ class TestDesignSpace:
             ebts=(4, 6, 8),
         )
 
-    def test_covers_both_schemes(self, space):
+    def test_covers_all_schemes(self, space):
         schemes = {p.scheme for p in space}
-        assert schemes == {CS.USYSTOLIC_RATE, CS.UGEMM_RATE}
-        assert len(space) == 6
+        assert schemes == {
+            CS.USYSTOLIC_RATE,
+            CS.UGEMM_RATE,
+            CS.TUGEMM_TEMPORAL,
+            CS.TUBGEMM_TEMPORAL,
+            CS.DIP_PARALLEL,
+        }
+        assert len(space) == 9
 
     def test_ugemm_always_dominated(self, space):
         # Identical arithmetic, double the cycles: every uGEMM-H point is
         # dominated by the uSystolic point at the same EBT.
         frontier = pareto_frontier(space)
-        assert all(p.scheme is CS.USYSTOLIC_RATE for p in frontier)
+        assert all(p.scheme is not CS.UGEMM_RATE for p in frontier)
+
+    def test_zoo_points_present(self, space):
+        by_label = {p.label: p for p in space}
+        assert {"TU@8", "TB@act50", "DP@8"} <= set(by_label)
+        tb = by_label["TB@act50"]
+        assert tb.act_frac == 0.5
+        # The expected-latency law: tubGEMM at half magnitude runs the
+        # network faster than tuGEMM's worst-case temporal stream.
+        assert tb.runtime_s < by_label["TU@8"].runtime_s
+        # Exact zoo schemes share the fixed-point accuracy ceiling.
+        assert tb.accuracy == by_label["DP@8"].accuracy == by_label["TU@8"].accuracy
 
     def test_energy_grows_with_ebt(self, space):
         ur = sorted(

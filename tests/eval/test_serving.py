@@ -21,15 +21,18 @@ def _small_grid(workers=1):
     )
 
 
-def test_grid_covers_binary_and_both_hub_codings():
+def test_grid_covers_binary_hub_and_zoo():
     designs = serving_designs()
-    schemes = [scheme for _, scheme, _ in designs]
+    schemes = [scheme for _, scheme, _, _ in designs]
     assert ComputeScheme.BINARY_PARALLEL in schemes
     assert ComputeScheme.USYSTOLIC_RATE in schemes
     assert ComputeScheme.USYSTOLIC_TEMPORAL in schemes
+    assert ComputeScheme.TUGEMM_TEMPORAL in schemes
+    assert ComputeScheme.TUBGEMM_TEMPORAL in schemes
+    assert ComputeScheme.DIP_PARALLEL in schemes
     points = _small_grid()
     assert len(points) == len(designs)
-    assert {p.design for p in points} == {d for d, _, _ in designs}
+    assert {p.design for p in points} == {d for d, _, _, _ in designs}
 
 
 def test_table_puts_latency_and_energy_side_by_side():

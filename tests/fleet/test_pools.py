@@ -22,6 +22,8 @@ def test_presets_cover_the_capacity_design_space():
         ComputeScheme.BINARY_PARALLEL,
         ComputeScheme.USYSTOLIC_RATE,
         ComputeScheme.USYSTOLIC_TEMPORAL,
+        ComputeScheme.TUBGEMM_TEMPORAL,
+        ComputeScheme.DIP_PARALLEL,
     }
     assert {p.platform for p in presets.values()} == {"edge", "cloud"}
     # Every preset validates and is named after its key.
@@ -36,6 +38,22 @@ def test_rate_presets_carry_the_paper_ebt():
     presets = pool_presets()
     assert presets["hub-rate-edge"].ebt == 6
     assert presets["hub-temporal-edge"].ebt is None
+
+
+def test_zoo_presets_carry_their_knobs():
+    presets = pool_presets()
+    assert presets["tubgemm-edge"].act_frac == 0.5
+    assert presets["dip-edge"].act_frac is None
+    # act_frac is rejected on value-independent schemes.
+    with pytest.raises(ValueError, match="act_frac"):
+        dataclasses.replace(presets["binary-edge"], act_frac=0.5)
+    # tubGEMM at half magnitude is faster per request than worst-case
+    # temporal coding, slower than single-cycle binary.
+    tub = build_cost_model(presets["tubgemm-edge"])
+    temporal = build_cost_model(presets["hub-temporal-edge"])
+    binary = build_cost_model(presets["binary-edge"])
+    assert tub.batch_cost(1).runtime_s < temporal.batch_cost(1).runtime_s
+    assert tub.batch_cost(1).runtime_s > binary.batch_cost(1).runtime_s
 
 
 @pytest.mark.parametrize(
